@@ -1,0 +1,43 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (see the
+per-experiment index in DESIGN.md), prints the reproduced rows/series,
+and saves them under ``benchmarks/output/``.  ``pytest-benchmark`` wraps
+the computation so the harness also reports how long each reproduction
+takes.
+
+Set ``REPRO_FULL=1`` for publication-fidelity sizes (e.g. the paper's
+full 1000-run Monte Carlo); the default sizes keep the whole suite to a
+few minutes while preserving every qualitative result.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Monte Carlo dies per design point (paper: 1000).
+MC_RUNS = 1000 if FULL else 250
+#: Swing points for the Fig. 6 sweep.
+FIG6_SWINGS = (0.27, 0.285, 0.30, 0.315, 0.33) if FULL else (0.28, 0.30, 0.32)
+#: BER measurement length.
+BER_BITS = 500_000 if FULL else 30_000
+#: NoC measurement window.
+NOC_MEASURE = 1500 if FULL else 400
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

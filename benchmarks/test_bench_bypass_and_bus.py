@@ -1,0 +1,34 @@
+"""E16/E17 — extensions: pipeline bypass and the parallel SRLR datapath."""
+
+from __future__ import annotations
+
+from conftest import FULL, NOC_MEASURE
+
+from repro.analysis import e16_bypass, e17_bus
+
+
+def test_bench_bypass(benchmark, save_report):
+    result = benchmark.pedantic(
+        e16_bypass, kwargs={"measure": NOC_MEASURE}, rounds=1, iterations=1
+    )
+    save_report("E16_bypass", result.text)
+    for run in result.data["runs"]:
+        assert run["latency_bypass"] < run["latency_base"]
+        assert run["buffer_energy_bypass"] <= run["buffer_energy_base"]
+
+
+def test_bench_bus(benchmark, save_report):
+    result = benchmark.pedantic(
+        e17_bus,
+        kwargs={"n_bits": 16, "n_runs": 120 if FULL else 40},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("E17_bus", result.text)
+    assert result.data["tt"].ok
+    report = result.data["yield"]
+    # Correlated lanes: the measured bus failure probability sits at or
+    # below the independent-lanes prediction.
+    assert report.bus_failure_probability <= report.independence_prediction + 1e-9
+    if result.data["skews"]:
+        assert max(result.data["skews"]) < 1.0 / 4.1e9  # within one UI

@@ -1,0 +1,19 @@
+"""E22 — extension: repeaterless/equalized links vs repeating, simulated."""
+
+from __future__ import annotations
+
+from repro.analysis import e22_equalized_baseline
+
+
+def test_bench_equalized_baseline(benchmark, save_report):
+    result = benchmark.pedantic(e22_equalized_baseline, rounds=1, iterations=1)
+    save_report("E22_equalized_baseline", result.text)
+    points = result.data["points"]
+    rates = [p["rate"] for p in points]
+    energies = [p["energy"] for p in points]
+    # More equalization -> more rate AND more energy (the FFE trade).
+    assert rates == sorted(rates)
+    assert energies == sorted(energies)
+    # The repeated SRLR link beats every repeaterless variant on both axes.
+    assert result.data["srlr_rate"] > max(rates) * 3
+    assert result.data["srlr_energy"] < min(energies)

@@ -1,0 +1,22 @@
+"""E6 — Fig. 8: 1 cm link-traversal energy vs bandwidth density.
+
+Regenerates the comparison plane: prior silicon-proven interconnects'
+published points with pitch-swept curves, plus this work's point from our
+own circuit-level energy measurement.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import e6_fig8_energy_density
+
+
+def test_bench_fig8_energy_density(benchmark, save_report):
+    result = benchmark.pedantic(e6_fig8_energy_density, rounds=1, iterations=1)
+    save_report("E6_fig8_energy_density", result.text)
+    assert result.data["on_pareto_frontier"]
+    assert result.data["highest_density"]
+    assert result.data["beats_high_density_rivals"]
+    # Every curve rises with density (the Table I footnote's coupling trade).
+    for key, curve in result.data["curves"].items():
+        energies = [e for _, e in curve]
+        assert energies == sorted(energies), key

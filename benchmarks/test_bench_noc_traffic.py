@@ -1,0 +1,35 @@
+"""E14 — NoC-level: mesh latency/throughput/energy, SRLR vs full swing.
+
+The system-level payoff: the same simulated traffic priced with the SRLR
+low-swing datapath versus a conventional full-swing datapath.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, NOC_MEASURE
+
+from repro.analysis import e14_noc_traffic
+
+
+def test_bench_noc_traffic(benchmark, save_report):
+    result = benchmark.pedantic(
+        e14_noc_traffic,
+        kwargs={
+            "k": 6 if FULL else 4,
+            "rates": (0.05, 0.15, 0.25, 0.35),
+            "patterns": ("uniform", "transpose"),
+            "measure": NOC_MEASURE,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report("E14_noc_traffic", result.text)
+    runs = result.data["runs"]
+    for run in runs:
+        saving = (
+            run["energy_full_swing"].datapath / run["energy_srlr"].datapath
+        )
+        assert saving > 2.0
+    # Latency grows with injected load under each pattern.
+    uniform = [r for r in runs if r["pattern"] == "uniform"]
+    assert uniform[-1]["stats"].average_latency >= uniform[0]["stats"].average_latency

@@ -1,0 +1,20 @@
+"""E7 — Table I: comparison of silicon-proven on-chip interconnects.
+
+Regenerates the table with the paper's published rows plus the
+reproduction's own measured "This Work" row.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import e7_table1
+
+
+def test_bench_table1(benchmark, save_report):
+    result = benchmark.pedantic(e7_table1, rounds=1, iterations=1)
+    save_report("E7_table1", result.text)
+    designs = result.data["designs"]
+    assert len(designs) == 6  # 5 prior rows (kim has 2 points) + this work
+    ours = designs[-1]
+    assert ours.signaling == "single-ended"
+    assert all(d.signaling == "fully differential" for d in designs[:-1])
+    assert 300 < result.data["measured_energy_fj_per_bit_per_cm"] < 500

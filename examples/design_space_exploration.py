@@ -1,0 +1,86 @@
+"""Design-space exploration with the public API.
+
+Run:  python examples/design_space_exploration.py
+
+Uses the sizing methodology of Section II as a library: repeater
+insertion length, M1/M2 sensitivity sizing, the swing/energy/margin
+trade, and driver-width optimization — then builds a custom design from
+the chosen point and verifies it end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis import format_table
+from repro.circuit import (
+    NMOSDriver,
+    PrbsGenerator,
+    SRLRLink,
+    optimize_driver,
+    robust_design,
+    sensitivity_vs_m1_m2_ratio,
+    sweep_segment_length,
+    sweep_swing_energy,
+    worst_case_patterns,
+)
+from repro.units import GBPS, MM, UM
+
+
+def main() -> None:
+    # 1. Why 1 mm repeater insertion (the mesh router-to-router distance).
+    rows = [
+        [
+            f"{p.segment_length / MM:.1f}",
+            "yes" if p.ok else "no",
+            f"{p.swing_at_receiver * 1000:.0f}",
+            "-" if p.energy_per_bit_per_mm == float("inf")
+            else f"{p.energy_per_bit_per_mm:.1f}",
+        ]
+        for p in sweep_segment_length([0.5 * MM, 1.0 * MM, 2.0 * MM, 2.5 * MM])
+    ]
+    print(format_table(
+        ["segment [mm]", "works", "swing [mV]", "energy [fJ/b/mm]"],
+        rows, title="Repeater insertion length"))
+
+    # 2. M1/M2 sizing: input sensitivity vs the current ratio.
+    rows = [
+        [f"{p.m1_width / UM:.0f}", f"{p.current_ratio:.1f}",
+         f"{p.min_swing * 1000:.0f}"]
+        for p in sensitivity_vs_m1_m2_ratio([2 * UM, 4 * UM, 8 * UM])
+    ]
+    print("\n" + format_table(
+        ["M1 width [um]", "I(M1)/I(M2) at swing", "sensitivity floor [mV]"],
+        rows, title="M1/M2 sizing (Section II)"))
+
+    # 3. Swing/energy/margin trade.
+    rows = [
+        [f"{p.swing * 1000:.0f}", f"{p.energy_per_bit_per_mm:.1f}",
+         f"{p.margin * 1000:.0f}"]
+        for p in sweep_swing_energy([0.26, 0.28, 0.30, 0.32, 0.34])
+    ]
+    print("\n" + format_table(
+        ["swing [mV]", "energy [fJ/b/mm]", "margin [mV]"],
+        rows, title="Swing selection"))
+
+    # 4. Driver sizing under a rate constraint.
+    choice = optimize_driver([0.6, 0.8, 1.0, 1.3, 1.6])
+    print(f"\nchosen driver: up {choice.width_up / UM:.1f} um / "
+          f"down {choice.width_down / UM:.1f} um -> "
+          f"{choice.energy_per_bit_per_mm:.1f} fJ/b/mm at "
+          f"{choice.max_data_rate / GBPS:.2f} Gb/s")
+
+    # 5. Build the custom design and verify it end to end.
+    custom = dataclasses.replace(
+        robust_design(nominal_swing=0.31),
+        driver=NMOSDriver(width_up=choice.width_up, width_down=choice.width_down),
+    )
+    link = SRLRLink(custom)
+    pattern = PrbsGenerator(7).bits(127) + worst_case_patterns()
+    outcome = link.transmit(pattern, 1.0 / (4.1 * GBPS))
+    print(f"\ncustom design at 4.1 Gb/s: errors {outcome.n_errors}/{len(pattern)}, "
+          f"energy {0.5 * link.energy_per_pulse()['total'] * 1e15 / 10:.1f} fJ/bit/mm")
+
+
+if __name__ == "__main__":
+    main()

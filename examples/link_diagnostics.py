@@ -1,0 +1,78 @@
+"""Link diagnostics: localizing a failing repeater through its taps.
+
+Run:  python examples/link_diagnostics.py
+
+The SRLR's intermediate taps make the datapath *observable*: every
+repeater outputs a clean full-swing stream, so a failing 10 mm link can
+be diagnosed to the exact stage by comparing tap bits against the sent
+data — and the per-stage sensing margins explain why that stage failed.
+This script screens Monte Carlo dies, diagnoses the failing ones, and
+prints the margin profile of the worst die it finds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.circuit import SRLRLink, diagnose_link, margin_profile, robust_design
+from repro.tech import monte_carlo_sample, tech_45nm_soi
+
+
+def main() -> None:
+    tech = tech_45nm_soi()
+    design = robust_design()
+
+    print("screening 120 Monte Carlo dies at 4.1 Gb/s...\n")
+    rows = []
+    worst_link = None
+    worst_margin = float("inf")
+    n_fail = 0
+    for seed in range(2013, 2133):
+        sample = monte_carlo_sample(tech, seed)
+        link = SRLRLink(design, sample)
+        diagnosis = diagnose_link(link)
+        weakest = margin_profile(link)[0]
+        if weakest[1] < worst_margin:
+            worst_margin = weakest[1]
+            worst_link = (seed, link, diagnosis)
+        if diagnosis.ok:
+            continue
+        n_fail += 1
+        failing = diagnosis.stages[diagnosis.failing_stage]
+        rows.append(
+            [
+                seed,
+                diagnosis.failing_stage,
+                failing.failure.value,
+                f"{failing.margin * 1000:.0f}",
+                diagnosis.weakest_stage,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "die (seed)",
+                "first failing stage",
+                "failure mode",
+                "its margin [mV]",
+                "weakest stage by margin",
+            ],
+            rows,
+            title=f"failing dies: {n_fail}/120",
+        )
+    )
+
+    seed, link, diagnosis = worst_link
+    print(f"\nmargin profile of the weakest die (seed {seed}):")
+    profile_rows = [
+        [stage, f"{margin * 1000:.1f}"] for stage, margin in margin_profile(link)
+    ]
+    print(format_table(["stage", "sensing margin [mV]"], profile_rows))
+    print(
+        "\nNegative margin = the stage's sensitivity floor exceeds the swing "
+        "it receives: the repair shortlist an adaptive per-stage trim (or a "
+        "binning flow) would work from."
+    )
+
+
+if __name__ == "__main__":
+    main()

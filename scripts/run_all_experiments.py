@@ -1,0 +1,99 @@
+"""Run every experiment (E1-E22) and write the full report bundle.
+
+Run:  python scripts/run_all_experiments.py [--full] [outdir]
+
+The canonical "reproduce the paper" entry point: executes all experiment
+drivers, prints each report, and saves them under ``results/`` (one text
+file per experiment plus a combined REPORT.txt).  ``--full`` selects
+publication-fidelity sizes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import (
+    calibration_report,
+    e1_fig4_waveforms,
+    e2_pulse_width_dynamics,
+    e3_driver_modes,
+    e4_fig6_montecarlo,
+    e5_headline,
+    e6_fig8_energy_density,
+    e7_table1,
+    e8_bias_overhead,
+    e9_router_power,
+    e10_noc_breakdown,
+    e11_multicast,
+    e11_multicast_simulated,
+    e12_ablation,
+    e13_sizing,
+    e14_noc_traffic,
+    e15_crosstalk,
+    e16_bypass,
+    e17_bus,
+    e18_temperature,
+    e19_system_studies,
+    e20_routing,
+    e21_tech_scaling,
+    e22_equalized_baseline,
+)
+
+FULL = "--full" in sys.argv
+MC_RUNS = 1000 if FULL else 250
+SWINGS = (0.27, 0.285, 0.30, 0.315, 0.33) if FULL else (0.28, 0.30, 0.32)
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    outdir = Path(args[0]) if args else Path("results")
+    outdir.mkdir(exist_ok=True)
+
+    runs = [
+        lambda: e1_fig4_waveforms(),
+        lambda: e2_pulse_width_dynamics(),
+        lambda: e3_driver_modes(),
+        lambda: e4_fig6_montecarlo(swings=SWINGS, n_runs=MC_RUNS),
+        lambda: e5_headline(),
+        lambda: e6_fig8_energy_density(),
+        lambda: e7_table1(),
+        lambda: e8_bias_overhead(),
+        lambda: e9_router_power(),
+        lambda: e10_noc_breakdown(),
+        lambda: e11_multicast(),
+        lambda: e11_multicast_simulated(),
+        lambda: e12_ablation(n_runs=MC_RUNS),
+        lambda: e13_sizing(),
+        lambda: e14_noc_traffic(),
+        lambda: e15_crosstalk(),
+        lambda: e16_bypass(),
+        lambda: e17_bus(),
+        lambda: e18_temperature(),
+        lambda: e19_system_studies(),
+        lambda: e20_routing(),
+        lambda: e21_tech_scaling(),
+        lambda: e22_equalized_baseline(),
+    ]
+
+    combined: list[str] = []
+    for run in runs:
+        t0 = time.time()
+        result = run()
+        elapsed = time.time() - t0
+        header = f"=== {result.experiment_id}: {result.title} ({elapsed:.1f}s) ==="
+        print(header)
+        print(result.text)
+        print()
+        (outdir / f"{result.experiment_id}.txt").write_text(result.text + "\n")
+        combined.append(header + "\n" + result.text + "\n")
+
+    calibration = calibration_report()
+    combined.append("=== calibration ===\n" + calibration + "\n")
+    (outdir / "REPORT.txt").write_text("\n".join(combined))
+    print(f"wrote {len(runs) + 1} reports under {outdir}/")
+
+
+if __name__ == "__main__":
+    main()

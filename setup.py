@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs fail; with this shim and no ``[build-system]`` table in
+pyproject.toml, ``pip install -e .`` takes the legacy ``setup.py develop``
+path, which works without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of Park et al., DATE 2013.
+
+"40.4fJ/bit/mm Low-Swing On-Chip Signaling with Self-Resetting Logic
+Repeaters Embedded within a Mesh NoC in 45nm SOI CMOS"
+
+The package is organized bottom-up:
+
+* :mod:`repro.tech` — process/device substrate (45 nm SOI, 90 nm bulk).
+* :mod:`repro.wire` — RC interconnect physics and exact transients.
+* :mod:`repro.circuit` — the SRLR itself: pulses, delay cells, drivers,
+  bias generation, stages, links, PRBS test circuitry, sizing.
+* :mod:`repro.mc` — Monte Carlo variation analysis and BER estimation.
+* :mod:`repro.energy` — energy/power models, prior-work baselines, router.
+* :mod:`repro.noc` — cycle-level mesh NoC simulator (the system context).
+* :mod:`repro.analysis` — sweeps, report tables, per-experiment drivers.
+
+See DESIGN.md for the system inventory and the per-experiment index, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.tech import Technology, tech_45nm_soi, tech_90nm_bulk
+
+__all__ = ["Technology", "tech_45nm_soi", "tech_90nm_bulk", "__version__"]

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for benches and experiment reports.
+
+The offline environment has no plotting stack, so every figure is
+reproduced as a printed data table; these helpers keep that output
+consistent and readable across all benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_cell(value: object, precision: int = 4) -> str:
+    """Human-friendly cell rendering for mixed numeric/string tables."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    if not headers:
+        raise ConfigurationError("headers must not be empty")
+    str_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: Sequence[tuple[str, object]]) -> str:
+    """Render a titled key/value block."""
+    if not pairs:
+        raise ConfigurationError("pairs must not be empty")
+    width = max(len(k) for k, _ in pairs)
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {key.ljust(width)} : {format_cell(value)}")
+    return "\n".join(lines)
+
+
+__all__ = ["format_cell", "format_kv", "format_table"]

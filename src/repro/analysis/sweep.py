@@ -1,0 +1,72 @@
+"""Generic parameter-sweep helpers used by benches and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A 1-D sweep: parameter values and the metric(s) at each."""
+
+    parameter: str
+    values: tuple[float, ...]
+    metrics: dict[str, tuple[float, ...]]
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        if metric not in self.metrics:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; have {sorted(self.metrics)}"
+            )
+        return list(zip(self.values, self.metrics[metric]))
+
+    def rows(self) -> list[list[float]]:
+        """Table rows: one per parameter value, metrics in sorted key order."""
+        keys = sorted(self.metrics)
+        return [
+            [v, *(self.metrics[k][i] for k in keys)]
+            for i, v in enumerate(self.values)
+        ]
+
+    def headers(self) -> list[str]:
+        return [self.parameter, *sorted(self.metrics)]
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[float],
+    evaluate: Callable[[float], dict[str, float]],
+) -> SweepResult:
+    """Evaluate ``evaluate`` at each value; collect named metrics.
+
+    Every call must return the same metric keys; a missing or extra key
+    indicates a bug in the evaluator and raises.
+    """
+    if not values:
+        raise ConfigurationError("values must not be empty")
+    collected: dict[str, list[float]] = {}
+    keys: set[str] | None = None
+    for value in values:
+        metrics = evaluate(value)
+        if keys is None:
+            keys = set(metrics)
+            for k in keys:
+                collected[k] = []
+        elif set(metrics) != keys:
+            raise ConfigurationError(
+                f"evaluator returned keys {sorted(metrics)} at {value}, "
+                f"expected {sorted(keys)}"
+            )
+        for k, v in metrics.items():
+            collected[k].append(float(v))
+    return SweepResult(
+        parameter=parameter,
+        values=tuple(float(v) for v in values),
+        metrics={k: tuple(v) for k, v in collected.items()},
+    )
+
+
+__all__ = ["SweepResult", "sweep"]

@@ -1,0 +1,172 @@
+"""Bias generation: Oguey current reference and the adaptive swing scheme.
+
+Section III-C: a single on-chip bias generator (587 uW, shared by all
+parallel links of a router) produces the gate reference Vref for every
+NMOS-based driver.  The generator combines an Oguey-style current reference
+— whose output current contains no threshold-voltage term to first order
+[30] — with a replica of the SRLR input device M1, so Vref *tracks the M1
+threshold voltage*: dies where M1 is less sensitive (high Vth) get more
+swing, dies where M1 is more sensitive get less, avoiding needless energy.
+
+A fixed reference (no tracking) is also provided; it is what the paper's
+"straightforward" design uses in the Fig. 6 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology
+from repro.tech.variation import VariationSample
+from repro.units import UA, UM, UW
+
+#: Measured bias generator power (Section IV).
+BIAS_GENERATOR_POWER = 587 * UW
+
+
+@dataclass(frozen=True)
+class OgueyCurrentReference:
+    """Threshold-independent current reference (Oguey & Aebischer, JSSC'97).
+
+    To first order the output current depends only on mobility and a
+    device-geometry ratio, not on Vth, so it is stable across process and
+    temperature (footnote 3 of the paper).  We model a small residual
+    process sensitivity through the drive-strength coefficient.
+    """
+
+    i_nominal: float = 20 * UA
+    process_sensitivity: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.i_nominal <= 0.0:
+            raise ConfigurationError(
+                f"i_nominal must be positive, got {self.i_nominal}"
+            )
+        if not 0.0 <= self.process_sensitivity <= 1.0:
+            raise ConfigurationError(
+                f"process_sensitivity must lie in [0, 1], got {self.process_sensitivity}"
+            )
+
+    def current(self, sample: VariationSample) -> float:
+        """Reference current under the sample: near-constant by design.
+
+        The residual sensitivity couples weakly to the global NMOS corner
+        (mobility and Vth shifts are correlated die-to-die).
+        """
+        skew = sample.global_corner.dvth_n / sample.tech.sigma_vth_global
+        return self.i_nominal * (1.0 - self.process_sensitivity * skew / 3.0)
+
+
+class SwingReference:
+    """Interface: produce the driver gate reference Vref for a die."""
+
+    def vref(self, sample: VariationSample) -> float:
+        raise NotImplementedError
+
+    @property
+    def power(self) -> float:
+        """Static power of the generator (0 for an off-chip fixed rail)."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FixedSwingReference(SwingReference):
+    """A fixed Vref rail: no Vth tracking (the straightforward design).
+
+    Because the NMOS driver delivers roughly (Vref - Vth), a fixed Vref
+    means delivered swing moves opposite to the global NMOS threshold —
+    excessive at strong corners (wasted energy), starved at weak corners
+    (sensing failures).  Exactly the behavior the adaptive scheme removes.
+    """
+
+    vref_value: float
+
+    def __post_init__(self) -> None:
+        if self.vref_value <= 0.0:
+            raise ConfigurationError(
+                f"vref_value must be positive, got {self.vref_value}"
+            )
+
+    def vref(self, sample: VariationSample) -> float:
+        return self.vref_value
+
+
+@dataclass(frozen=True)
+class AdaptiveSwingReference(SwingReference):
+    """Replica-biased Vref that tracks the M1 threshold (Section III-C).
+
+    Vref = gain * Vth(M1 replica) + overdrive, where the overdrive term is
+    set by the Oguey current through the replica and is threshold-free.
+    With gain = 1 the delivered swing is first-order constant across global
+    corners; gain > 1 additionally grows swing at weak (high-Vth) corners
+    and trims it at strong corners, which is how the scheme both saves
+    energy at strong corners and protects margin at weak ones.
+    """
+
+    overdrive: float
+    gain: float = 2.3
+    replica_width: float = 4.0 * UM
+    reference: OgueyCurrentReference = OgueyCurrentReference()
+    #: Maximum reduction of Vref below its typical value.  Boosting at weak
+    #: (high-Vth) corners is unlimited (up to the Vdd clamp in the driver);
+    #: trimming at strong corners is limited so the energy saving never
+    #: eats into the trip-time margin — a clamp in the bias generator.
+    trim_limit: float = 0.03
+
+    def __post_init__(self) -> None:
+        # ``overdrive`` may be negative: the generator can subtract a
+        # threshold-free offset (current-mirror ratioing) as easily as add
+        # one.  Only the composed Vref must come out positive, checked at
+        # evaluation time.
+        if self.gain <= 0.0:
+            raise ConfigurationError(f"gain must be positive, got {self.gain}")
+        if self.trim_limit < 0.0:
+            raise ConfigurationError(
+                f"trim_limit must be non-negative, got {self.trim_limit}"
+            )
+
+    def vref(self, sample: VariationSample) -> float:
+        vth_replica = sample.vth("bias.m1_replica", "n", self.replica_width)
+        # The Oguey current sets the replica overdrive; its residual process
+        # dependence perturbs the overdrive term only.
+        i_scale = self.reference.current(sample) / self.reference.i_nominal
+        tracked = self.gain * vth_replica + self.overdrive * i_scale
+        vref_typical = self.gain * sample.tech.vth_n + self.overdrive
+        vref = max(tracked, vref_typical - self.trim_limit)
+        if vref <= 0.0:
+            raise ConfigurationError(
+                f"composed Vref is non-positive ({vref}); check gain/overdrive"
+            )
+        return vref
+
+    @property
+    def power(self) -> float:
+        return BIAS_GENERATOR_POWER
+
+
+def adaptive_for_amplitude(
+    tech: Technology, amplitude: float, driver_vth: float | None = None, gain: float = 2.3
+) -> AdaptiveSwingReference:
+    """Build an adaptive reference delivering ``amplitude`` at the typical corner.
+
+    The NMOS driver clamps its output at roughly Vref - Vth(driver), so the
+    required nominal Vref is amplitude + Vth; the replica contributes
+    gain * Vth of it and the overdrive supplies the rest.
+    """
+    if amplitude <= 0.0:
+        raise ConfigurationError(f"amplitude must be positive, got {amplitude}")
+    driver_vth = tech.vth_n if driver_vth is None else driver_vth
+    vref_needed = amplitude + driver_vth
+    overdrive = vref_needed - gain * tech.vth_n
+    return AdaptiveSwingReference(overdrive=overdrive, gain=gain)
+
+
+def fixed_for_amplitude(
+    tech: Technology, amplitude: float, driver_vth: float | None = None
+) -> FixedSwingReference:
+    """Build a fixed reference delivering ``amplitude`` at the typical corner."""
+    if amplitude <= 0.0:
+        raise ConfigurationError(f"amplitude must be positive, got {amplitude}")
+    driver_vth = tech.vth_n if driver_vth is None else driver_vth
+    return FixedSwingReference(vref_value=amplitude + driver_vth)

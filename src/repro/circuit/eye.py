@@ -1,0 +1,124 @@
+"""Eye analysis of the SRLR's received signal.
+
+The classic link-characterization view behind the paper's "up to 4.1 Gb/s
+with BER < 1e-9": at the input of a repeater, the received levels for 1s
+(attenuated pulses plus constructive residual) and for 0s (decaying
+residual baseline) must stay separated by more than the stage's
+sensitivity floor plus noise.  The *voltage eye* here is
+
+    height = min(level | sent 1) - max(level | sent 0)
+
+measured over PRBS traffic at a chosen stage, and the margin to the
+sensing floor converts directly into a Q-factor/BER.  Sweeping data rate
+shows the eye collapsing at the link's maximum speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.circuit.link import SRLRLink
+from repro.circuit.prbs import PrbsGenerator, worst_case_patterns
+
+
+@dataclass(frozen=True)
+class EyeReport:
+    """Voltage-domain eye at one stage and data rate."""
+
+    data_rate: float
+    stage_index: int
+    one_min: float  # weakest received '1' level, volts
+    zero_max: float  # strongest residual on a '0', volts
+    sensitivity_floor: float  # stage's minimum sensable swing at this UI
+    timing_margin: float  # UI minus (trip + Wx + recovery) at the worst 1
+    n_bits: int
+
+    @property
+    def height(self) -> float:
+        """Separation between the worst 1 and the worst 0 level."""
+        return self.one_min - self.zero_max
+
+    @property
+    def margin(self) -> float:
+        """Worst-case distance of the levels from the decision floor.
+
+        The stage 'samples' by whether the level trips X within the UI:
+        1s must sit above the floor, 0s below it.
+        """
+        return min(self.one_min - self.sensitivity_floor,
+                   self.sensitivity_floor - self.zero_max)
+
+    @property
+    def open(self) -> bool:
+        """Open in *both* dimensions: voltage separation and reset timing.
+
+        The SRLR's eye closes in time before it closes in voltage — the
+        self-reset dead time (trip + Wx + recovery) must fit in the unit
+        interval, which is exactly what caps the measured data rate.
+        """
+        return self.margin > 0.0 and self.timing_margin > 0.0
+
+    def ber_estimate(self, noise_sigma: float = 0.004) -> float:
+        """Gaussian-noise BER implied by the eye margin."""
+        # Imported lazily: repro.mc imports repro.circuit, so a module-
+        # level import here would be circular.
+        from repro.mc.ber import q_factor_ber
+
+        if not self.open:
+            return 0.5
+        return q_factor_ber(self.margin, noise_sigma)
+
+
+def eye_at_rate(
+    link: SRLRLink,
+    data_rate: float,
+    stage_index: int | None = None,
+    n_bits: int = 1024,
+    prbs_order: int = 15,
+    seed: int = 9,
+) -> EyeReport:
+    """Measure the voltage eye at ``stage_index`` (default: last stage)."""
+    if data_rate <= 0.0:
+        raise ConfigurationError(f"data_rate must be positive, got {data_rate}")
+    if n_bits < 8:
+        raise ConfigurationError(f"n_bits must be >= 8, got {n_bits}")
+    stage_index = len(link.stages) - 1 if stage_index is None else stage_index
+    bit_period = 1.0 / data_rate
+    bits = PrbsGenerator(prbs_order, seed=seed).bits(n_bits) + worst_case_patterns()
+    outcome = link.transmit(bits, bit_period, probe_stage=stage_index)
+    assert outcome.probe is not None
+    # Align the probe with what the probed stage was *offered*: the tap
+    # bits of the previous stage (or the sent bits for stage 0).
+    offered = bits if stage_index == 0 else outcome.tap_bits[stage_index - 1]
+    ones = [s for (s, _, _), b in zip(outcome.probe, offered) if b == 1]
+    zeros = [s for (s, _, _), b in zip(outcome.probe, offered) if b == 0]
+    if not ones or not zeros:
+        raise SimulationError("pattern did not exercise both symbols at the probe")
+    stage = link.stages[stage_index]
+    floor = stage.sensitivity_swing(min(180e-12, bit_period))
+    one_min = min(ones)
+    timing_margin = bit_period - (
+        stage.trip_time(one_min) + stage.wx + link.design.reset_recovery
+    )
+    return EyeReport(
+        data_rate=data_rate,
+        stage_index=stage_index,
+        one_min=one_min,
+        zero_max=max(zeros),
+        sensitivity_floor=floor,
+        timing_margin=timing_margin,
+        n_bits=len(bits),
+    )
+
+
+def eye_vs_rate(
+    link: SRLRLink, rates: list[float], stage_index: int | None = None, n_bits: int = 512
+) -> list[EyeReport]:
+    """Eye collapse curve: the eye margin shrinking toward the max rate."""
+    if not rates:
+        raise ConfigurationError("rates must not be empty")
+    return [eye_at_rate(link, r, stage_index, n_bits) for r in rates]
+
+
+__all__ = ["EyeReport", "eye_at_rate", "eye_vs_rate"]

@@ -1,0 +1,113 @@
+"""Serialization study: trading wires for per-wire data rate.
+
+The mesh router moves 64-bit flits at the router clock while one SRLR
+wire sustains multiple Gb/s — so the datapath could serialize N flit bits
+onto one wire, saving wiring and repeater area at the cost of
+serialization latency and SER/DES energy.  This module quantifies that
+trade with the calibrated link models: which serialization ratios the
+SRLR link can actually sustain, and what each costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.circuit.link import SRLRLink
+from repro.circuit.prbs import PrbsGenerator, worst_case_patterns
+from repro.circuit.srlr import SRLRDesignParams, robust_design
+from repro.units import FJ
+
+#: Active silicon area of one 1 mm SRLR (die photo; the same constant is
+#: exported by repro.energy.router, duplicated here to avoid a circular
+#: package import).
+SRLR_AREA = 47.9e-12  # m^2
+
+#: SER/DES overhead per serialized payload bit (mux/demux flops + clocking),
+#: a 45 nm-class estimate.
+SERDES_ENERGY_PER_BIT = 12 * FJ
+
+
+@dataclass(frozen=True)
+class SerializationPoint:
+    """One serialization ratio's feasibility and cost."""
+
+    ratio: int
+    wire_rate: float  # b/s each physical wire must sustain
+    feasible: bool  # the SRLR link carries that rate error-free at TT
+    n_wires: int  # physical wires for the flit
+    energy_per_flit: float  # joules: link + SER/DES for one 64-bit flit
+    serialization_latency_s: float  # extra latency of the last bit
+    repeater_area: float  # m^2 of SRLRs per hop for the flit
+
+
+def serialization_sweep(
+    ratios: list[int],
+    flit_bits: int = 64,
+    flit_rate: float = 1.0e9,
+    design: SRLRDesignParams | None = None,
+) -> list[SerializationPoint]:
+    """Evaluate serialization ratios for a ``flit_bits`` @ ``flit_rate`` port.
+
+    Ratio 1 is the paper's parallel datapath (one wire per bit at the
+    flit rate); higher ratios multiplex ``ratio`` bits per wire at
+    ``ratio * flit_rate``.  Feasibility is checked by actually driving
+    the calibrated link at the required wire rate.
+    """
+    if not ratios:
+        raise ConfigurationError("ratios must not be empty")
+    if flit_bits < 1 or flit_rate <= 0.0:
+        raise ConfigurationError("flit_bits and flit_rate must be positive")
+    design = design or robust_design()
+    link = SRLRLink(design)
+    pattern = PrbsGenerator(7).bits(96) + worst_case_patterns()
+    e_pulse_per_hop = link.energy_per_pulse()["total"] / design.n_stages
+    points: list[SerializationPoint] = []
+    for ratio in ratios:
+        if ratio < 1 or flit_bits % ratio != 0:
+            raise ConfigurationError(
+                f"ratio {ratio} must be >= 1 and divide flit_bits={flit_bits}"
+            )
+        wire_rate = ratio * flit_rate
+        feasible = link.transmit(pattern, 1.0 / wire_rate).ok
+        n_wires = flit_bits // ratio
+        # Per flit: every payload bit costs one wire hop (at 50% pulse
+        # activity) regardless of how it is multiplexed; SER/DES applies
+        # only when ratio > 1.
+        e_link = flit_bits * 0.5 * e_pulse_per_hop
+        e_serdes = flit_bits * SERDES_ENERGY_PER_BIT if ratio > 1 else 0.0
+        points.append(
+            SerializationPoint(
+                ratio=ratio,
+                wire_rate=wire_rate,
+                feasible=feasible,
+                n_wires=n_wires,
+                energy_per_flit=e_link + e_serdes,
+                serialization_latency_s=(ratio - 1) / wire_rate,
+                repeater_area=n_wires * SRLR_AREA,
+            )
+        )
+    return points
+
+
+def max_feasible_ratio(
+    flit_bits: int = 64, flit_rate: float = 1.0e9, design: SRLRDesignParams | None = None
+) -> int:
+    """Largest power-of-two serialization the link sustains at TT."""
+    best = 1
+    ratio = 1
+    while ratio * 2 <= flit_bits:
+        ratio *= 2
+        point = serialization_sweep([ratio], flit_bits, flit_rate, design)[0]
+        if not point.feasible:
+            break
+        best = ratio
+    return best
+
+
+__all__ = [
+    "SERDES_ENERGY_PER_BIT",
+    "SerializationPoint",
+    "max_feasible_ratio",
+    "serialization_sweep",
+]

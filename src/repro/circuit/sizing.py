@@ -1,0 +1,252 @@
+"""Transistor sizing methodology (Section II).
+
+The paper states the SRLR transistors are "optimally-sized to directly
+drive the 1 mm wire" and that "the size ratio of M1/M2 should be designed
+to allow enough SRLR input sensitivity at a given low-swing voltage
+level".  This module makes those procedures executable:
+
+* :func:`sensitivity_vs_m1_m2_ratio` — the sensitivity floor as a function
+  of the M1/M2 current ratio (the paper's sizing constraint);
+* :func:`sweep_segment_length` — why ~1 mm per repeater: shorter wastes
+  repeater energy, longer loses swing/attenuation margin (and no longer
+  matches the router-to-router distance of a mesh);
+* :func:`sweep_swing_energy` — the energy/robustness trade along the swing
+  axis (the design-selection view of Fig. 6);
+* :func:`optimize_driver` — driver width search for minimum energy at a
+  reliability constraint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.circuit.link import SRLRLink
+from repro.circuit.prbs import PrbsGenerator, worst_case_patterns
+from repro.circuit.srlr import SRLRDesignParams, SRLRStage, robust_design
+from repro.tech.technology import Technology, tech_45nm_soi
+from repro.tech.variation import nominal_sample
+from repro.units import MM
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Sensitivity floor of the SRLR input at one M1/M2 sizing."""
+
+    m1_width: float
+    m2_width: float
+    current_ratio: float  # M1 drive at nominal swing over keeper current
+    min_swing: float  # smallest sensable swing within the nominal dwell
+
+
+def sensitivity_vs_m1_m2_ratio(
+    m1_widths: list[float],
+    design: SRLRDesignParams | None = None,
+    dwell: float = 180e-12,
+) -> list[SensitivityPoint]:
+    """Sweep M1 width at fixed keeper: sensitivity floor vs size ratio.
+
+    Larger M1 (bigger M1/M2 current ratio) senses smaller swings within
+    the same dwell — the paper's Section II sizing statement made
+    quantitative.
+    """
+    design = design or robust_design()
+    points: list[SensitivityPoint] = []
+    for width in m1_widths:
+        if width <= 0.0:
+            raise ConfigurationError(f"m1_width must be positive, got {width}")
+        d = dataclasses.replace(design, m1_width=width)
+        stage = SRLRStage(d, 0, nominal_sample(d.tech))
+        floor = stage.sensitivity_swing(dwell)
+        # Size ratio expressed as the current ratio at the design's nominal
+        # operating swing: the quantity the paper's Section II constraint
+        # actually bounds.
+        from repro.circuit.srlr import DEFAULT_NOMINAL_SWING
+
+        i_m1 = stage.net_discharge_current(DEFAULT_NOMINAL_SWING) + stage.keeper_current
+        ratio = i_m1 / stage.keeper_current if stage.keeper_current > 0 else float("inf")
+        points.append(
+            SensitivityPoint(
+                m1_width=width,
+                m2_width=d.m2_width,
+                current_ratio=ratio,
+                min_swing=floor,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class LengthPoint:
+    """Link behavior at one repeater-insertion length."""
+
+    segment_length: float
+    ok: bool
+    swing_at_receiver: float
+    energy_per_bit_per_mm: float  # fJ/bit/mm at 50% activity
+
+
+def sweep_segment_length(
+    lengths: list[float],
+    tech: Technology | None = None,
+    total_length: float = 10 * MM,
+    bit_period: float = 1.0 / 4.1e9,
+) -> list[LengthPoint]:
+    """Repeater-insertion-length sweep: the case for ~1 mm segments.
+
+    Each point rebuilds a link whose N stages cover ``total_length``.
+    Short segments burn repeater overhead energy; long segments attenuate
+    the pulse below the sensitivity floor (not ``ok``).  The sweet spot
+    sits near the mesh's 1 mm router-to-router distance — which is the
+    paper's core packaging argument (Section II).
+    """
+    tech = tech or tech_45nm_soi()
+    points: list[LengthPoint] = []
+    pattern = PrbsGenerator(7).bits(96) + worst_case_patterns()
+    for length in lengths:
+        if length <= 0.0:
+            raise ConfigurationError(f"length must be positive, got {length}")
+        n_stages = max(1, round(total_length / length))
+        try:
+            design = robust_design(
+                tech, n_stages=n_stages, segment_length=length
+            )
+        except ConfigurationError:
+            # The swing solver could not reach the target at this length:
+            # the wire attenuates too heavily.  Report as a failing point.
+            points.append(
+                LengthPoint(
+                    segment_length=length,
+                    ok=False,
+                    swing_at_receiver=0.0,
+                    energy_per_bit_per_mm=float("inf"),
+                )
+            )
+            continue
+        link = SRLRLink(design)
+        records = link.propagate_pulse()
+        ok = (
+            len(records) == n_stages
+            and all(r.fired for r in records)
+            and link.transmit(pattern, bit_period).ok
+        )
+        swing = records[0].in_swing if records else 0.0
+        energy = link.energy_per_pulse()["total"]
+        e_norm = 0.5 * energy / 1e-15 / (n_stages * length / MM)
+        points.append(
+            LengthPoint(
+                segment_length=length,
+                ok=ok,
+                swing_at_receiver=swing,
+                energy_per_bit_per_mm=e_norm,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class SwingEnergyPoint:
+    """Energy and TT margin at one nominal swing (design-selection view)."""
+
+    swing: float
+    energy_per_bit_per_mm: float
+    margin: float  # nominal swing minus the stage-0 sensitivity floor
+
+
+def sweep_swing_energy(
+    swings: list[float], tech: Technology | None = None
+) -> list[SwingEnergyPoint]:
+    """Energy vs swing with the sensing margin alongside.
+
+    The selected swing is the knee: low enough to save energy, high enough
+    that the margin covers variation plus noise (quantified properly by
+    the Monte Carlo of Fig. 6).
+    """
+    tech = tech or tech_45nm_soi()
+    points: list[SwingEnergyPoint] = []
+    for swing in swings:
+        design = robust_design(tech, nominal_swing=swing)
+        link = SRLRLink(design)
+        stage = SRLRStage(design, 0, nominal_sample(tech))
+        floor = stage.sensitivity_swing(180e-12)
+        energy = link.energy_per_pulse()["total"]
+        e_norm = 0.5 * energy / 1e-15 / (design.n_stages * design.segment_length / MM)
+        points.append(
+            SwingEnergyPoint(
+                swing=swing, energy_per_bit_per_mm=e_norm, margin=swing - floor
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class DriverChoice:
+    """Outcome of the driver sizing search."""
+
+    width_up: float
+    width_down: float
+    energy_per_bit_per_mm: float
+    max_data_rate: float
+
+
+def optimize_driver(
+    scale_factors: list[float],
+    tech: Technology | None = None,
+    min_rate: float = 4.1e9,
+) -> DriverChoice:
+    """Scale the NMOS driver for minimum energy subject to a rate floor.
+
+    Bigger drivers waste gate energy every pulse; smaller drivers attenuate
+    (more launch amplitude needed) and slow the wire.  Returns the lowest
+    energy point that still achieves ``min_rate`` error-free at TT.
+    """
+    from repro.circuit.driver import NMOSDriver
+
+    tech = tech or tech_45nm_soi()
+    if not scale_factors:
+        raise ConfigurationError("scale_factors must not be empty")
+    pattern = PrbsGenerator(7).bits(96) + worst_case_patterns()
+    best: DriverChoice | None = None
+    base = NMOSDriver()
+    for factor in scale_factors:
+        if factor <= 0.0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        driver = NMOSDriver(
+            width_up=base.width_up * factor, width_down=base.width_down * factor
+        )
+        try:
+            design = robust_design(tech, driver=driver)
+        except ConfigurationError:
+            continue
+        link = SRLRLink(design)
+        rate = link.max_data_rate(pattern)
+        if rate < min_rate:
+            continue
+        energy = link.energy_per_pulse()["total"]
+        e_norm = 0.5 * energy / 1e-15 / (design.n_stages * design.segment_length / MM)
+        choice = DriverChoice(
+            width_up=driver.width_up,
+            width_down=driver.width_down,
+            energy_per_bit_per_mm=e_norm,
+            max_data_rate=rate,
+        )
+        if best is None or choice.energy_per_bit_per_mm < best.energy_per_bit_per_mm:
+            best = choice
+    if best is None:
+        raise ConfigurationError(
+            f"no driver scale in {scale_factors} meets {min_rate/1e9:.1f} Gb/s"
+        )
+    return best
+
+
+__all__ = [
+    "DriverChoice",
+    "LengthPoint",
+    "SensitivityPoint",
+    "SwingEnergyPoint",
+    "optimize_driver",
+    "sensitivity_vs_m1_m2_ratio",
+    "sweep_segment_length",
+    "sweep_swing_energy",
+]

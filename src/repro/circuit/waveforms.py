@@ -1,0 +1,158 @@
+"""Waveform reconstruction for Fig. 4-style plots.
+
+The paper's Fig. 4 shows the SRLR's simulated waveforms: the low-swing
+input pulse arriving on IN, the sense node X discharging from its standby
+level and snapping back on reset, and the regenerated full-swing pulse on
+OUT.  This module rebuilds those three traces from the behavioral model —
+the wire waveform exactly (linear solver), X and OUT piecewise from the
+stage's resolved timing — so the benches can print/plot the same picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.circuit.link import SRLRLink
+from repro.units import PS
+
+
+@dataclass(frozen=True)
+class StageWaveforms:
+    """Sampled voltage traces of one repeater processing one pulse.
+
+    All traces share ``times`` (seconds, zero at the launch of the input
+    pulse into the wire feeding this stage).
+    """
+
+    times: np.ndarray
+    v_in: np.ndarray  # far-end wire voltage at the M1 gate (low swing)
+    v_x: np.ndarray  # sense node X
+    v_out: np.ndarray  # regenerated output pulse
+    t_trip: float
+    out_width: float
+
+
+def _ramp(times: np.ndarray, t0: float, t1: float, v0: float, v1: float) -> np.ndarray:
+    """Piecewise-linear transition helper: v0 before t0, v1 after t1."""
+    if t1 <= t0:
+        return np.where(times < t0, v0, v1)
+    frac = np.clip((times - t0) / (t1 - t0), 0.0, 1.0)
+    return v0 + (v1 - v0) * frac
+
+
+def stage_waveforms(
+    link: SRLRLink,
+    stage_index: int = 0,
+    width: float | None = None,
+    n_samples: int = 1200,
+) -> StageWaveforms:
+    """Reconstruct Fig. 4's three traces for one stage of ``link``.
+
+    The input pulse is whatever arrives at ``stage_index`` when the PM
+    launches the link's nominal pulse (so downstream stages show the
+    *repeated* low-swing input, not the original).
+    """
+    if not 0 <= stage_index < len(link.stages):
+        raise ConfigurationError(
+            f"stage_index must be in [0, {len(link.stages)}), got {stage_index}"
+        )
+    width = link.launch_width if width is None else width
+
+    # Walk the launch chain down to the requested stage.
+    launch = link._pm_launch
+    for stage in link.stages[:stage_index]:
+        table = link._table(launch.r_up, launch.r_down)
+        out = stage.transfer(
+            table.peak_ratio(width) * launch.amplitude, table.width_out(width)
+        )
+        if not out.fired:
+            raise SimulationError(
+                f"pulse died at stage {stage.stage_index}; no waveform to show"
+            )
+        width = out.out_width
+        launch = out.launch
+
+    stage = link.stages[stage_index]
+    table = link._table(launch.r_up, launch.r_down)
+    swing = table.peak_ratio(width) * launch.amplitude
+    dwell = table.width_out(width)
+    out = stage.transfer(swing, dwell)
+    if not out.fired:
+        raise SimulationError(f"stage {stage_index} does not fire; nothing to plot")
+
+    # Exact input waveform from the wire solver.
+    transfer = table.transfer
+    t_wire, v_far = transfer.far_end_waveform(width, launch.amplitude)
+    t_end = max(
+        float(t_wire[-1]),
+        table.t_peak(width) + out.t_trip + stage.wx + 4 * stage.t_fall,
+    )
+    times = np.linspace(0.0, t_end, n_samples)
+    v_in = np.interp(times, t_wire, v_far)
+
+    # Node X: standby until the input charges in, then a discharge ramp
+    # crossing V_M at t_trip (measured from the input's arrival at half
+    # peak), snapping back to Vdd on reset and settling to standby.
+    t_arrive = max(table.t_peak(width) - 0.5 * dwell, 0.0)
+    t_cross = t_arrive + out.t_trip
+    v_low = stage.v_threshold - link.design.rise_sense_depth
+    t_reset = t_cross + stage.wx
+    tech = link.design.tech
+    v_x = np.full_like(times, stage.v_standby)
+    v_x = np.where(
+        times >= t_arrive,
+        _ramp(times, t_arrive, t_cross + 2 * PS, stage.v_standby, v_low),
+        v_x,
+    )
+    v_x = np.where(
+        times >= t_reset, _ramp(times, t_reset, t_reset + 10 * PS, v_low, tech.vdd), v_x
+    )
+    settle = t_reset + 10 * PS + link.design.reset_recovery
+    v_x = np.where(
+        times >= t_reset + 10 * PS,
+        _ramp(times, t_reset + 10 * PS, settle, tech.vdd, stage.v_standby),
+        v_x,
+    )
+
+    # OUT: rises after the trip (slew set by the INV rise), falls on reset.
+    t_rise_mid = t_cross + stage.t_intrinsic_rise
+    t_fall_mid = t_reset + stage.t_fall
+    v_out = _ramp(times, t_cross, t_rise_mid + stage.t_intrinsic_rise, 0.0, tech.vdd)
+    v_out = np.where(
+        times >= t_fall_mid - stage.t_fall,
+        _ramp(times, t_fall_mid - stage.t_fall, t_fall_mid + stage.t_fall, tech.vdd, 0.0),
+        v_out,
+    )
+
+    return StageWaveforms(
+        times=times,
+        v_in=v_in,
+        v_x=v_x,
+        v_out=v_out,
+        t_trip=out.t_trip,
+        out_width=out.out_width,
+    )
+
+
+def waveform_table(
+    wf: StageWaveforms, n_rows: int = 40
+) -> list[tuple[float, float, float, float]]:
+    """Downsample the traces into printable (t_ps, in, x, out) rows."""
+    if n_rows < 2:
+        raise ConfigurationError(f"n_rows must be >= 2, got {n_rows}")
+    idx = np.linspace(0, len(wf.times) - 1, n_rows).astype(int)
+    return [
+        (
+            float(wf.times[i] / PS),
+            float(wf.v_in[i]),
+            float(wf.v_x[i]),
+            float(wf.v_out[i]),
+        )
+        for i in idx
+    ]
+
+
+__all__ = ["StageWaveforms", "stage_waveforms", "waveform_table"]

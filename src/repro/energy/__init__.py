@@ -1,0 +1,75 @@
+"""Energy and power models: wires, links, prior works, routers."""
+
+from repro.energy.baselines import (
+    KIM2010_DRIVER_AREA,
+    InterconnectDesign,
+    kim2010,
+    mensink2010,
+    park2012,
+    seo2010,
+    simulated_this_work_energy,
+    table1_designs,
+    this_work,
+)
+from repro.energy.link_energy import (
+    BiasOverheadReport,
+    LinkEnergyReport,
+    bias_overhead,
+    full_swing_link_energy,
+    srlr_link_energy,
+)
+from repro.energy.router import (
+    CROSSPOINTS_5PORT,
+    PUBLISHED_NOC_BREAKDOWNS,
+    SRLR_AREA,
+    RouterArea,
+    RouterConfig,
+    RouterPower,
+    RouterPowerModel,
+    datapath_share,
+    default_router_config,
+)
+from repro.energy.chip import ChipComparison, ChipNocPower, chip_noc_power, compare_chip
+from repro.energy.scaling import VddPoint, sweep_vdd
+from repro.energy.wire_energy import (
+    DensityPoint,
+    energy_vs_density,
+    full_swing_energy_per_bit,
+    low_swing_energy_per_bit,
+)
+
+__all__ = [
+    "BiasOverheadReport",
+    "ChipComparison",
+    "ChipNocPower",
+    "VddPoint",
+    "chip_noc_power",
+    "compare_chip",
+    "sweep_vdd",
+    "CROSSPOINTS_5PORT",
+    "DensityPoint",
+    "InterconnectDesign",
+    "KIM2010_DRIVER_AREA",
+    "LinkEnergyReport",
+    "PUBLISHED_NOC_BREAKDOWNS",
+    "RouterArea",
+    "RouterConfig",
+    "RouterPower",
+    "RouterPowerModel",
+    "SRLR_AREA",
+    "bias_overhead",
+    "datapath_share",
+    "default_router_config",
+    "energy_vs_density",
+    "full_swing_energy_per_bit",
+    "full_swing_link_energy",
+    "kim2010",
+    "low_swing_energy_per_bit",
+    "mensink2010",
+    "park2012",
+    "seo2010",
+    "simulated_this_work_energy",
+    "srlr_link_energy",
+    "table1_designs",
+    "this_work",
+]

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the SRLR reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A model was configured with physically or logically invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out (not a signaling failure)."""
+
+
+class ConvergenceError(SimulationError):
+    """An iterative solver or calibration failed to converge."""
+
+
+class NocError(ReproError):
+    """Base class for NoC simulator errors."""
+
+
+class RoutingError(NocError):
+    """A packet could not be routed (bad destination, broken topology)."""
+
+
+class ProtocolError(NocError):
+    """Flow-control protocol invariant violated (credit underflow, VC misuse)."""

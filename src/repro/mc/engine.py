@@ -1,0 +1,135 @@
+"""Monte Carlo engine over SRLR link designs.
+
+Reproduces the paper's 1000-run Monte Carlo methodology (Fig. 6): each run
+draws one die — a global (die-to-die) corner shared by every device plus
+independent local mismatch per device — instantiates the link on that die,
+transmits a stress pattern, and records whether any bit failed.
+
+The per-die failure *probability* (fraction of dies that cannot carry the
+pattern error-free) is the paper's "error probability" axis; "process
+variation immunity" is its reciprocal ratio between designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.circuit.link import SRLRLink
+from repro.circuit.prbs import PrbsGenerator, worst_case_patterns
+from repro.circuit.srlr import SRLRDesignParams
+from repro.tech.variation import monte_carlo_sample
+
+
+def default_stress_pattern(n_prbs: int = 127) -> list[int]:
+    """The measurement pattern: PRBS7 traffic plus the '11110' stressors."""
+    return PrbsGenerator(7).bits(n_prbs) + worst_case_patterns()
+
+
+@dataclass(frozen=True)
+class McRun:
+    """One die's outcome."""
+
+    seed: int
+    ok: bool
+    n_errors: int
+    stuck: bool
+    dvth_n: float
+    dvth_p: float
+
+
+@dataclass
+class McResult:
+    """Aggregate over all dies of one design point."""
+
+    design: SRLRDesignParams
+    runs: list[McRun] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for r in self.runs if not r.ok)
+
+    @property
+    def error_probability(self) -> float:
+        """Fraction of dies failing the stress pattern (Fig. 6 y-axis)."""
+        if not self.runs:
+            return 0.0
+        return self.n_failures / self.n_runs
+
+    def failure_seeds(self) -> list[int]:
+        return [r.seed for r in self.runs if not r.ok]
+
+
+def run_monte_carlo(
+    design: SRLRDesignParams,
+    n_runs: int = 1000,
+    bit_period: float = 1.0 / 4.1e9,
+    pattern: list[int] | None = None,
+    base_seed: int = 2013,
+    local_enabled: bool = True,
+) -> McResult:
+    """Monte Carlo yield analysis of one link design.
+
+    Each run uses seed ``base_seed + i`` so individual failing dies can be
+    reproduced exactly.  ``local_enabled=False`` restricts variation to
+    global corners only (useful for ablating the two variation scales).
+    """
+    if n_runs < 1:
+        raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    if bit_period <= 0.0:
+        raise ConfigurationError(f"bit_period must be positive, got {bit_period}")
+    pattern = default_stress_pattern() if pattern is None else pattern
+    result = McResult(design=design)
+    for i in range(n_runs):
+        seed = base_seed + i
+        sample = monte_carlo_sample(
+            design.tech, seed, local_enabled=local_enabled
+        )
+        link = SRLRLink(design, sample)
+        outcome = link.transmit(pattern, bit_period)
+        result.runs.append(
+            McRun(
+                seed=seed,
+                ok=outcome.ok,
+                n_errors=outcome.n_errors,
+                stuck=outcome.stuck,
+                dvth_n=sample.global_corner.dvth_n,
+                dvth_p=sample.global_corner.dvth_p,
+            )
+        )
+    return result
+
+
+def immunity_ratio(reference: McResult, contender: McResult) -> float:
+    """Process-variation immunity of ``contender`` relative to ``reference``.
+
+    The paper reports the robust SRLR achieving "about 3.7 times higher
+    process variation immunity" than the straightforward design at the
+    selected swing: the ratio of failure probabilities (reference over
+    contender).  When the contender never fails, one pseudo-failure is
+    assumed so the ratio stays finite (a lower bound).
+    """
+    p_ref = reference.error_probability
+    p_new = contender.error_probability
+    if p_ref == 0.0 and p_new == 0.0:
+        return 1.0
+    if p_ref == 0.0:
+        return 0.0
+    if p_new == 0.0:
+        p_new = 1.0 / (2 * max(contender.n_runs, 1))
+    return p_ref / p_new
+
+
+__all__ = [
+    "McResult",
+    "McRun",
+    "default_stress_pattern",
+    "immunity_ratio",
+    "run_monte_carlo",
+]

@@ -1,0 +1,120 @@
+"""Error-pattern statistics: bursts, spacing, and coding implications.
+
+A BER number alone hides *how* errors arrive.  The model exposes real
+structure: noise-induced errors cluster (a corrupted pulse perturbs the
+residual baseline its neighbors ride on, so one hit begets another),
+while overspeed drops are isolated and near-periodic (each lost pulse is
+followed by a successful one once the self-reset clears).  Burst
+structure decides whether simple parity/retry protection suffices at the
+NoC level or interleaving is needed — the practical question downstream
+of the paper's BER < 1e-9 claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.circuit.link import SRLRLink
+from repro.circuit.prbs import PrbsGenerator
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Structure of the error process observed over one long run."""
+
+    transmitted: int
+    errors: int
+    n_bursts: int
+    max_burst: int
+    mean_burst: float
+    #: Fraction of errors that are isolated single-bit events.
+    isolated_fraction: float
+
+    @property
+    def ber(self) -> float:
+        return self.errors / self.transmitted if self.transmitted else 0.0
+
+    @property
+    def bursty(self) -> bool:
+        """True when a meaningful share of errors arrive clustered."""
+        return self.isolated_fraction < 0.9 and self.n_bursts > 0
+
+
+def burst_lengths(error_positions: list[int], gap: int = 1) -> list[int]:
+    """Group error bit-positions into bursts separated by > ``gap`` bits."""
+    if gap < 1:
+        raise ConfigurationError(f"gap must be >= 1, got {gap}")
+    if not error_positions:
+        return []
+    positions = sorted(error_positions)
+    bursts = [1]
+    for prev, cur in zip(positions, positions[1:]):
+        if cur - prev <= gap:
+            bursts[-1] += 1
+        else:
+            bursts.append(1)
+    return bursts
+
+
+def collect_error_stats(
+    link: SRLRLink,
+    bit_period: float,
+    n_bits: int = 50_000,
+    noise_sigma: float = 0.01,
+    chunk: int = 512,
+    seed: int = 77,
+    burst_gap: int = 1,
+) -> ErrorStats:
+    """Transmit long PRBS traffic and characterize the error structure."""
+    if n_bits < chunk or chunk < 8:
+        raise ConfigurationError("need n_bits >= chunk >= 8")
+    rng = np.random.default_rng(seed)
+    gen = PrbsGenerator(15)
+    positions: list[int] = []
+    sent_total = 0
+    while sent_total < n_bits:
+        bits = gen.bits(chunk)
+        outcome = link.transmit(bits, bit_period, noise_sigma=noise_sigma, rng=rng)
+        for i, (a, b) in enumerate(zip(outcome.sent, outcome.received)):
+            if a != b:
+                positions.append(sent_total + i)
+        sent_total += chunk
+    bursts = burst_lengths(positions, burst_gap)
+    isolated = sum(1 for b in bursts if b == 1)
+    return ErrorStats(
+        transmitted=sent_total,
+        errors=len(positions),
+        n_bursts=len(bursts),
+        max_burst=max(bursts) if bursts else 0,
+        mean_burst=float(np.mean(bursts)) if bursts else 0.0,
+        isolated_fraction=(isolated / len(bursts)) if bursts else 1.0,
+    )
+
+
+def compare_error_structure(
+    link: SRLRLink,
+    noise_rate: float = 4.1e9,
+    overspeed_rate: float = 6.5e9,
+    n_bits: int = 20_000,
+    noise_sigma: float = 0.035,
+) -> dict[str, ErrorStats]:
+    """The two error regimes side by side.
+
+    ``noise``: at the rated speed with exaggerated voltage noise — errors
+    cluster through the residual-baseline coupling.  ``overspeed``:
+    beyond the reset dead time — drops are isolated, spaced by the
+    recovery period.
+    """
+    noise = collect_error_stats(
+        link, 1.0 / noise_rate, n_bits=n_bits, noise_sigma=noise_sigma
+    )
+    overspeed = collect_error_stats(
+        link, 1.0 / overspeed_rate, n_bits=n_bits, noise_sigma=0.004
+    )
+    return {"noise": noise, "overspeed": overspeed}
+
+
+__all__ = ["ErrorStats", "burst_lengths", "collect_error_stats", "compare_error_structure"]

@@ -1,0 +1,72 @@
+"""Cycle-level mesh NoC simulator: the system context of the SRLR."""
+
+from repro.noc.crossbar import Crossbar
+from repro.noc.indirect import (
+    TopologyPoint,
+    clos_point,
+    crossover_locality,
+    locality_sweep,
+    mesh_average_hops,
+    mesh_point,
+)
+from repro.noc.link import Link, LinkEnd
+from repro.noc.packet import Flit, FlitType, Packet
+from repro.noc.power import TAP_ENERGY_FRACTION, NocEnergyReport, price_stats
+from repro.noc.router import NocConfig, Router
+from repro.noc.routing import (
+    multicast_tree_links,
+    route_ports,
+    tap_destinations,
+    unicast_path_hops,
+    xy_route,
+    yx_route,
+)
+from repro.noc.simulator import Nic, NocSimulator
+from repro.noc.stats import DeliveryRecord, NocStats
+from repro.noc.topology import OPPOSITE, MeshTopology, NodeId, Port
+from repro.noc.trace import TraceEntry, TraceTraffic, record_trace
+from repro.noc.traffic import PATTERNS, SyntheticTraffic, pattern_destination
+from repro.noc.vc import InputPort, OutputPort, VirtualChannel
+
+__all__ = [
+    "Crossbar",
+    "DeliveryRecord",
+    "Flit",
+    "FlitType",
+    "InputPort",
+    "Link",
+    "LinkEnd",
+    "MeshTopology",
+    "Nic",
+    "NocConfig",
+    "NocEnergyReport",
+    "NocSimulator",
+    "NocStats",
+    "NodeId",
+    "OPPOSITE",
+    "OutputPort",
+    "PATTERNS",
+    "Packet",
+    "Port",
+    "Router",
+    "SyntheticTraffic",
+    "TopologyPoint",
+    "TraceEntry",
+    "clos_point",
+    "crossover_locality",
+    "locality_sweep",
+    "mesh_average_hops",
+    "mesh_point",
+    "TraceTraffic",
+    "record_trace",
+    "TAP_ENERGY_FRACTION",
+    "VirtualChannel",
+    "multicast_tree_links",
+    "pattern_destination",
+    "price_stats",
+    "route_ports",
+    "tap_destinations",
+    "unicast_path_hops",
+    "xy_route",
+    "yx_route",
+]

@@ -1,0 +1,105 @@
+"""Arbiters and allocators.
+
+A mesh router needs two allocation stages per cycle: VC allocation (a
+head flit acquires a virtual channel at the downstream input) and switch
+allocation (buffered flits compete for crossbar input/output slots).
+Both are built here from round-robin arbiters, the standard fair,
+starvation-free primitive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.errors import ConfigurationError
+
+
+class RoundRobinArbiter:
+    """Fair single-resource arbiter with a rotating priority pointer."""
+
+    def __init__(self, n_requesters: int) -> None:
+        if n_requesters < 1:
+            raise ConfigurationError(
+                f"n_requesters must be >= 1, got {n_requesters}"
+            )
+        self.n = n_requesters
+        self._pointer = 0
+
+    def grant(self, requests: Iterable[int]) -> int | None:
+        """Grant one of the requesting indices, rotating priority.
+
+        Returns None when nothing requests.  The pointer advances past the
+        winner so it has lowest priority next time.
+        """
+        req = set(requests)
+        if not req:
+            return None
+        for offset in range(self.n):
+            candidate = (self._pointer + offset) % self.n
+            if candidate in req:
+                self._pointer = (candidate + 1) % self.n
+                return candidate
+        return None
+
+
+class Allocator:
+    """Separable input-first allocator over (requester, resource) pairs.
+
+    Stage 1: each requester (holding possibly several candidate
+    resources) picks one via its own round-robin arbiter.  Stage 2: each
+    resource picks one of the requesters that selected it.  This is the
+    canonical separable allocator used for both VC and switch allocation
+    in 3-stage routers.
+    """
+
+    def __init__(self) -> None:
+        self._requester_arbiters: dict[Hashable, RoundRobinArbiter] = {}
+        self._resource_arbiters: dict[Hashable, RoundRobinArbiter] = {}
+
+    def _arbiter(
+        self, table: dict[Hashable, RoundRobinArbiter], key: Hashable, n: int
+    ) -> RoundRobinArbiter:
+        arbiter = table.get(key)
+        if arbiter is None or arbiter.n != n:
+            arbiter = RoundRobinArbiter(n)
+            table[key] = arbiter
+        return arbiter
+
+    def allocate(
+        self, requests: dict[Hashable, list[Hashable]]
+    ) -> dict[Hashable, Hashable]:
+        """Resolve {requester: [candidate resources]} to {requester: resource}.
+
+        Each resource is granted to at most one requester; each requester
+        receives at most one resource.
+        """
+        # Stage 1: requesters choose one candidate each.
+        choices: dict[Hashable, Hashable] = {}
+        for requester, resources in sorted(requests.items(), key=lambda kv: repr(kv[0])):
+            if not resources:
+                continue
+            ordered = sorted(resources, key=repr)
+            arbiter = self._arbiter(
+                self._requester_arbiters, requester, max(len(ordered), 1)
+            )
+            idx = arbiter.grant(range(len(ordered)))
+            if idx is not None:
+                choices[requester] = ordered[idx]
+
+        # Stage 2: resources choose among their suitors.
+        suitors: dict[Hashable, list[Hashable]] = {}
+        for requester, resource in choices.items():
+            suitors.setdefault(resource, []).append(requester)
+        grants: dict[Hashable, Hashable] = {}
+        for resource, requesters in sorted(suitors.items(), key=lambda kv: repr(kv[0])):
+            ordered = sorted(requesters, key=repr)
+            arbiter = self._arbiter(
+                self._resource_arbiters, resource, max(len(ordered), 1)
+            )
+            idx = arbiter.grant(range(len(ordered)))
+            if idx is not None:
+                grants[ordered[idx]] = resource
+        return grants
+
+
+__all__ = ["Allocator", "RoundRobinArbiter"]

@@ -1,0 +1,45 @@
+"""Crossbar switch model with per-crosspoint SRLR enables (Fig. 3).
+
+The paper embeds 3-port SRLRs (IN, OUT, EN) at each of the 20 crosspoints
+of the 64-bit 5-port crossbar: the switch allocator's grant *is* the EN
+signal of the selected crosspoint, and the crosspoint repeater then drives
+through the crossbar and the following 1 mm link in one shot.
+
+Functionally the crossbar checks the structural constraints (one input
+per output, no u-turns) and counts traversal events for the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.noc.topology import Port
+
+
+@dataclass
+class Crossbar:
+    """A 5x5 (minus u-turns) crosspoint matrix."""
+
+    allow_u_turn: bool = False
+    traversals: int = field(default=0)
+    #: EN activation counts per (in_port, out_port) crosspoint.
+    crosspoint_counts: dict[tuple[Port, Port], int] = field(default_factory=dict)
+
+    def connect(self, in_port: Port, out_port: Port) -> None:
+        """Activate the crosspoint for one flit traversal (EN pulse)."""
+        if in_port == out_port and not self.allow_u_turn:
+            raise ProtocolError(f"u-turn {in_port} -> {out_port} not allowed")
+        key = (in_port, out_port)
+        self.crosspoint_counts[key] = self.crosspoint_counts.get(key, 0) + 1
+        self.traversals += 1
+
+    @staticmethod
+    def n_crosspoints(n_ports: int = 5, allow_u_turn: bool = False) -> int:
+        """Crosspoint count: 20 for the paper's no-u-turn 5-port switch."""
+        if n_ports < 2:
+            raise ConfigurationError(f"n_ports must be >= 2, got {n_ports}")
+        return n_ports * (n_ports if allow_u_turn else n_ports - 1)
+
+
+__all__ = ["Crossbar"]

@@ -1,0 +1,56 @@
+"""Router-to-router links.
+
+A link carries flits with a fixed latency in cycles.  Physically this is
+the 1 mm wire the SRLR drives; the cycle-level simulator only needs the
+latency and the traversal count (the energy model prices each traversal
+with the circuit-level per-bit energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Flit
+from repro.noc.topology import NodeId, Port
+
+
+@dataclass
+class LinkEnd:
+    """Destination of a link: (router node, input port, input VC)."""
+
+    node: NodeId
+    port: Port
+
+
+@dataclass
+class Link:
+    """A directed link with ``latency`` cycles of flight time."""
+
+    src: NodeId
+    dst: LinkEnd
+    latency: int = 1
+    traversals: int = field(default=0)
+    _in_flight: list[tuple[int, Flit, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ConfigurationError(f"link latency must be >= 1, got {self.latency}")
+
+    def send(self, flit: Flit, vc: int, cycle: int) -> None:
+        """Put a flit on the wire at ``cycle``."""
+        self.traversals += 1
+        self._in_flight.append((cycle + self.latency, flit, vc))
+
+    def arrivals(self, cycle: int) -> list[tuple[Flit, int]]:
+        """Flits landing at the far end this cycle, as (flit, vc)."""
+        landed = [(f, vc) for t, f, vc in self._in_flight if t == cycle]
+        self._in_flight = [(t, f, vc) for t, f, vc in self._in_flight if t != cycle]
+        return landed
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._in_flight)
+
+
+__all__ = ["Link", "LinkEnd"]

@@ -1,0 +1,127 @@
+"""Packets and flits.
+
+Packets are wormhole-switched as flit sequences.  Multicast packets carry
+a destination *set*; the simulator restricts multicasts to single-flit
+packets (the coherence-invalidation style traffic that motivates the
+paper's multicast argument [10] is single-flit), which keeps fork
+replication trivially deadlock-free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.noc.topology import NodeId
+
+_packet_ids = itertools.count()
+
+
+class FlitType(Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    SINGLE = "single"  # head and tail in one flit
+
+
+@dataclass
+class Packet:
+    """One network packet, possibly multicast.
+
+    ``dests`` is a frozenset of destination nodes; unicast packets have
+    exactly one.  ``size_flits`` counts flits including head and tail.
+    """
+
+    src: NodeId
+    dests: frozenset[NodeId]
+    size_flits: int
+    inject_cycle: int
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Dimension order this packet routes in: "xy" (default) or "yx".
+    #: O1TURN picks one per packet at injection; the two orders must use
+    #: disjoint VC classes to stay deadlock-free.  Multicasts are always
+    #: "xy" (the tree construction assumes it).
+    routing: str = "xy"
+
+    def __post_init__(self) -> None:
+        if self.routing not in ("xy", "yx"):
+            raise ConfigurationError(
+                f"routing must be 'xy' or 'yx', got {self.routing!r}"
+            )
+        if self.routing == "yx" and len(self.dests) > 1:
+            raise ConfigurationError("multicast packets must route 'xy'")
+        if not self.dests:
+            raise ConfigurationError("packet needs at least one destination")
+        if self.size_flits < 1:
+            raise ConfigurationError(
+                f"size_flits must be >= 1, got {self.size_flits}"
+            )
+        if self.src in self.dests:
+            raise ConfigurationError("packet destination equals its source")
+        if self.is_multicast and self.size_flits != 1:
+            raise ConfigurationError(
+                "multicast packets must be single-flit (see module docstring)"
+            )
+
+    @property
+    def is_multicast(self) -> bool:
+        return len(self.dests) > 1
+
+    def flits(self) -> list["Flit"]:
+        """Materialize the packet's flit sequence."""
+        if self.size_flits == 1:
+            return [
+                Flit(
+                    packet=self,
+                    seq=0,
+                    flit_type=FlitType.SINGLE,
+                    dests=self.dests,
+                )
+            ]
+        out = []
+        for seq in range(self.size_flits):
+            if seq == 0:
+                ftype = FlitType.HEAD
+            elif seq == self.size_flits - 1:
+                ftype = FlitType.TAIL
+            else:
+                ftype = FlitType.BODY
+            out.append(Flit(packet=self, seq=seq, flit_type=ftype, dests=self.dests))
+        return out
+
+
+@dataclass
+class Flit:
+    """One flit in flight.
+
+    ``dests`` may shrink as a multicast is forked: each branch copy keeps
+    only the destinations it is responsible for.
+    """
+
+    packet: Packet
+    seq: int
+    flit_type: FlitType
+    dests: frozenset[NodeId]
+
+    @property
+    def is_head(self) -> bool:
+        return self.flit_type in (FlitType.HEAD, FlitType.SINGLE)
+
+    @property
+    def is_tail(self) -> bool:
+        return self.flit_type in (FlitType.TAIL, FlitType.SINGLE)
+
+    def branch(self, dests: frozenset[NodeId]) -> "Flit":
+        """A fork copy of this flit responsible for ``dests`` only."""
+        if not dests <= self.dests:
+            raise ConfigurationError("branch dests must be a subset")
+        if not dests:
+            raise ConfigurationError("branch needs at least one destination")
+        return Flit(
+            packet=self.packet, seq=self.seq, flit_type=self.flit_type, dests=dests
+        )
+
+
+__all__ = ["Flit", "FlitType", "Packet"]

@@ -1,0 +1,138 @@
+"""Routing: dimension-order (XY) unicast and XY-tree multicast.
+
+XY routing is the standard deadlock-free choice for meshes: traverse X
+fully, then Y.  The multicast tree is the natural XY generalization —
+destinations are partitioned by the output port XY would choose, and a
+fork replicates the flit per needed port.  Because every branch still
+follows XY order, the tree is cycle-free and inherits XY's deadlock
+freedom.
+
+The module also computes *tap* opportunities: the SRLR datapath exposes
+full-swing data at every intermediate repeater (Section II), so a
+destination lying on a straight-through segment of the tree can be
+served without a separate ejection traversal.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RoutingError
+from repro.noc.packet import Flit
+from repro.noc.topology import MeshTopology, NodeId, Port
+
+
+def xy_route(current: NodeId, dest: NodeId) -> Port:
+    """The output port XY dimension-order routing takes toward ``dest``."""
+    if current == dest:
+        return Port.LOCAL
+    cx, cy = current
+    dx, dy = dest
+    if dx > cx:
+        return Port.EAST
+    if dx < cx:
+        return Port.WEST
+    if dy > cy:
+        return Port.NORTH
+    return Port.SOUTH
+
+
+def yx_route(current: NodeId, dest: NodeId) -> Port:
+    """The YX dimension order: traverse Y fully, then X (O1TURN's twin)."""
+    if current == dest:
+        return Port.LOCAL
+    cx, cy = current
+    dx, dy = dest
+    if dy > cy:
+        return Port.NORTH
+    if dy < cy:
+        return Port.SOUTH
+    if dx > cx:
+        return Port.EAST
+    return Port.WEST
+
+
+def route_ports(
+    topology: MeshTopology, current: NodeId, flit: Flit
+) -> dict[Port, frozenset[NodeId]]:
+    """Partition a flit's destinations by output port at ``current``.
+
+    Uses the packet's dimension order ("xy" or "yx").  Returns
+    {port: destination subset}; LOCAL appears when this router is itself
+    a destination.  Unicast flits always map to a single entry.
+    """
+    if not topology.contains(current):
+        raise RoutingError(f"router {current} outside the mesh")
+    route = yx_route if flit.packet.routing == "yx" else xy_route
+    partition: dict[Port, set[NodeId]] = {}
+    for dest in flit.dests:
+        if not topology.contains(dest):
+            raise RoutingError(f"destination {dest} outside the mesh")
+        partition.setdefault(route(current, dest), set()).add(dest)
+    return {port: frozenset(dests) for port, dests in partition.items()}
+
+
+def multicast_tree_links(
+    topology: MeshTopology, src: NodeId, dests: frozenset[NodeId]
+) -> set[tuple[NodeId, Port]]:
+    """All (router, out_port) hops of the XY multicast tree, counted once.
+
+    This is the link-traversal cost of a tree multicast; the same set of
+    destinations served as independent unicasts costs the *sum* of their
+    XY paths, which double-counts every shared prefix — the multicast
+    energy advantage quantified in the E11 bench.
+    """
+    hops: set[tuple[NodeId, Port]] = set()
+    for dest in dests:
+        node = src
+        while node != dest:
+            port = xy_route(node, dest)
+            hops.add((node, port))
+            nxt = topology.neighbor(node, port)
+            if nxt is None:
+                raise RoutingError(f"XY fell off the mesh at {node} toward {dest}")
+            node = nxt
+    return hops
+
+
+def unicast_path_hops(topology: MeshTopology, src: NodeId, dest: NodeId) -> int:
+    """Hop count of the XY unicast path (equals Manhattan distance)."""
+    return topology.hop_distance(src, dest)
+
+
+def tap_destinations(
+    topology: MeshTopology, src: NodeId, dests: frozenset[NodeId]
+) -> frozenset[NodeId]:
+    """Destinations servable as free SRLR taps on the XY tree.
+
+    A destination is a *tap* when the tree continues straight through its
+    router in the same dimension (the pulse passes its SRLR anyway, and
+    the full-swing repeated data can be latched locally).  Destinations at
+    tree leaves or at turn points still need a normal ejection.
+    """
+    tree = multicast_tree_links(topology, src, dests)
+    taps: set[NodeId] = set()
+    for dest in dests:
+        # The port the tree uses to *enter* dest's router.
+        entering = [
+            port
+            for (node, port) in tree
+            if topology.neighbor(node, port) == dest
+        ]
+        if not entering:
+            continue
+        in_port = entering[0]
+        # Straight-through continuation: the tree leaves dest on the same
+        # axis it entered (E->E, W->W, N->N, S->S).
+        leaving = {port for (node, port) in tree if node == dest}
+        if in_port in leaving:
+            taps.add(dest)
+    return frozenset(taps)
+
+
+__all__ = [
+    "multicast_tree_links",
+    "route_ports",
+    "tap_destinations",
+    "unicast_path_hops",
+    "xy_route",
+    "yx_route",
+]

@@ -1,0 +1,211 @@
+"""The cycle-level mesh NoC simulator: wiring, NICs, and the main loop.
+
+Per cycle, in order: link arrivals land, routers buffer-write (and apply
+SRLR taps), traffic generates packets, NICs inject, routers run VC
+allocation, then switch allocation + traversal.  Statistics windows
+(warmup / measure / drain) follow standard NoC methodology: latency and
+throughput only count packets injected during the measurement window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.noc.link import Link, LinkEnd
+from repro.noc.packet import Flit, Packet
+from repro.noc.router import NocConfig, Router
+from repro.noc.stats import NocStats
+from repro.noc.topology import OPPOSITE, MeshTopology, NodeId, Port
+from repro.noc.traffic import SyntheticTraffic
+from repro.noc.vc import OutputPort
+
+
+@dataclass
+class Nic:
+    """Network interface: queues packets and injects flits via LOCAL.
+
+    The NIC performs the upstream half of flow control for the router's
+    LOCAL input port: it picks an idle VC per packet and respects
+    credits, exactly like an upstream router's output side.
+    """
+
+    node: NodeId
+    router: Router
+    config: NocConfig
+    stats: NocStats
+    seed: int = 0
+    queue: deque[Packet] = field(default_factory=deque)
+    out: OutputPort = field(init=False)
+    _pending: list[Flit] = field(default_factory=list)
+    _vc: int | None = None
+    _va_ptr: int = 0
+
+    def __post_init__(self) -> None:
+        self.out = OutputPort(self.config.n_vcs, self.config.vc_capacity)
+        self.router.upstream[Port.LOCAL] = self.out
+        self._rng = np.random.default_rng(
+            (self.seed, self.node[0], self.node[1])
+        )
+
+    def offer(self, packet: Packet) -> None:
+        if self.config.routing == "o1turn" and not packet.is_multicast:
+            # O1TURN: flip a fair coin per packet between the two
+            # dimension orders (multicast trees stay XY).
+            packet.routing = "xy" if self._rng.random() < 0.5 else "yx"
+        self.queue.append(packet)
+        self.stats.injected_packets += 1
+
+    def inject(self, cycle: int) -> None:
+        """Send at most one flit into the router's LOCAL port."""
+        if not self._pending:
+            if not self.queue:
+                return
+            allowed = self.router.vc_class(self.queue[0].routing)
+            free = [v for v in self.out.free_vcs() if v in allowed]
+            if not free:
+                return
+            vc = free[self._va_ptr % len(free)]
+            self._va_ptr += 1
+            packet = self.queue.popleft()
+            self._pending = packet.flits()
+            self._vc = vc
+            self.out.acquire(vc, (Port.LOCAL, vc))
+        assert self._vc is not None
+        if self.out.credits[self._vc] <= 0:
+            return
+        flit = self._pending.pop(0)
+        self.out.consume_credit(self._vc)
+        self.router.stage(flit, Port.LOCAL, self._vc)
+        self.stats.injected_flits += 1
+        if not self._pending:
+            self._vc = None
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue) + len(self._pending)
+
+
+class NocSimulator:
+    """A k x k mesh NoC under a synthetic traffic generator."""
+
+    def __init__(
+        self,
+        k: int,
+        config: NocConfig | None = None,
+        traffic: SyntheticTraffic | None = None,
+        injection_rate: float = 0.05,
+        pattern: str = "uniform",
+        seed: int = 7,
+    ) -> None:
+        self.topology = MeshTopology(k)
+        self.config = config or NocConfig()
+        self.stats = NocStats()
+        self.traffic = traffic or SyntheticTraffic(
+            self.topology, injection_rate, pattern, seed=seed
+        )
+        if self.traffic.topology.k != k:
+            raise ConfigurationError("traffic generator built for a different mesh")
+
+        self.routers: dict[NodeId, Router] = {
+            node: Router(node, self.topology, self.config, self.stats)
+            for node in self.topology.nodes()
+        }
+        self.links: list[Link] = []
+        for src, port, dst in self.topology.links():
+            link = Link(
+                src=src,
+                dst=LinkEnd(node=dst, port=OPPOSITE[port]),
+                latency=self.config.link_latency,
+            )
+            self.links.append(link)
+            self.routers[src].connect_output(
+                port, link, self.config.n_vcs, self.config.vc_capacity
+            )
+            self.routers[dst].upstream[OPPOSITE[port]] = self.routers[src].outputs[port]
+        self.nics: dict[NodeId, Nic] = {
+            node: Nic(node, self.routers[node], self.config, self.stats, seed=seed)
+            for node in self.topology.nodes()
+        }
+        self.cycle = 0
+
+    # --- main loop -----------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        cycle = self.cycle
+        ordered_nodes = sorted(self.routers)
+
+        for link in self.links:
+            for flit, vc in link.arrivals(cycle):
+                self.routers[link.dst.node].stage(flit, link.dst.port, vc)
+
+        for node in ordered_nodes:
+            self.routers[node].accept(cycle)
+
+        for packet in self.traffic.packets_for_cycle(cycle):
+            self.nics[packet.src].offer(packet)
+
+        for node in ordered_nodes:
+            self.nics[node].inject(cycle)
+
+        for node in ordered_nodes:
+            self.routers[node].vc_allocate(cycle)
+
+        for node in ordered_nodes:
+            self.routers[node].switch_and_traverse(cycle)
+
+        self.cycle += 1
+
+    def run(
+        self, warmup: int = 200, measure: int = 600, drain_limit: int = 4000
+    ) -> NocStats:
+        """Warm up, measure, then drain measured packets.
+
+        Raises :class:`ProtocolError` if the network fails to drain within
+        ``drain_limit`` cycles after the measurement window — with XY
+        routing and correct flow control that indicates a protocol bug or
+        genuine saturation-level livelock, both worth failing loudly on.
+        """
+        if warmup < 0 or measure <= 0 or drain_limit < 0:
+            raise ConfigurationError("invalid warmup/measure/drain_limit")
+        self.stats.measure_start = warmup
+        self.stats.measure_end = warmup + measure
+        for _ in range(warmup + measure):
+            self.step()
+
+        # Stop generating, drain what's in flight.
+        rate, self.traffic.injection_rate = self.traffic.injection_rate, 0.0
+        for _ in range(drain_limit):
+            if not self._network_busy():
+                break
+            self.step()
+        self.traffic.injection_rate = rate
+        if self._network_busy():
+            raise ProtocolError(
+                f"network failed to drain within {drain_limit} cycles "
+                f"({self.stats.delivered_count} measured deliveries so far)"
+            )
+        return self.stats
+
+    # --- drain bookkeeping ------------------------------------------------------------
+
+    def _network_busy(self) -> bool:
+        if any(link.busy for link in self.links):
+            return True
+        for nic in self.nics.values():
+            if nic.backlog:
+                return True
+        for router in self.routers.values():
+            if router._staged:
+                return True
+            for port in router.inputs.values():
+                if port.occupancy:
+                    return True
+        return False
+
+
+__all__ = ["Nic", "NocSimulator"]

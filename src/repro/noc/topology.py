@@ -1,0 +1,95 @@
+"""k x k mesh topology (the paper's NoC context, Fig. 1/2).
+
+Coordinates are (x, y) with x growing east and y growing north.  Each
+router has five ports — the four compass directions plus the local
+(core/NIC) port — and the router-to-router links are the 1 mm wires the
+SRLR is sized to drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import ConfigurationError
+
+
+class Port(IntEnum):
+    """Router ports; LOCAL is the core injection/ejection port."""
+
+    LOCAL = 0
+    NORTH = 1
+    SOUTH = 2
+    EAST = 3
+    WEST = 4
+
+
+#: The port a flit arrives on when it was sent out of ``port`` upstream.
+OPPOSITE: dict[Port, Port] = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+}
+
+
+NodeId = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A k x k mesh of 5-port routers."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ConfigurationError(f"mesh radix k must be >= 2, got {self.k}")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.k * self.k
+
+    def nodes(self) -> list[NodeId]:
+        return [(x, y) for y in range(self.k) for x in range(self.k)]
+
+    def contains(self, node: NodeId) -> bool:
+        x, y = node
+        return 0 <= x < self.k and 0 <= y < self.k
+
+    def neighbor(self, node: NodeId, port: Port) -> NodeId | None:
+        """The node reached through ``port``, or None at the mesh edge."""
+        if not self.contains(node):
+            raise ConfigurationError(f"node {node} outside {self.k}x{self.k} mesh")
+        x, y = node
+        if port == Port.NORTH:
+            dest = (x, y + 1)
+        elif port == Port.SOUTH:
+            dest = (x, y - 1)
+        elif port == Port.EAST:
+            dest = (x + 1, y)
+        elif port == Port.WEST:
+            dest = (x - 1, y)
+        else:
+            return None
+        return dest if self.contains(dest) else None
+
+    def links(self) -> list[tuple[NodeId, Port, NodeId]]:
+        """All directed router-to-router links as (src, out_port, dst)."""
+        out = []
+        for node in self.nodes():
+            for port in (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST):
+                neighbor = self.neighbor(node, port)
+                if neighbor is not None:
+                    out.append((node, port, neighbor))
+        return out
+
+    def hop_distance(self, a: NodeId, b: NodeId) -> int:
+        """Manhattan distance in hops."""
+        for n in (a, b):
+            if not self.contains(n):
+                raise ConfigurationError(f"node {n} outside {self.k}x{self.k} mesh")
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+__all__ = ["MeshTopology", "NodeId", "OPPOSITE", "Port"]

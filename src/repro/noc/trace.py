@@ -1,0 +1,128 @@
+"""Trace-driven traffic: record, save, and replay packet streams.
+
+Synthetic patterns answer "what if"; traces answer "what happened".  This
+module lets a workload be captured once (from a synthetic run or built by
+hand) and replayed deterministically against different router/datapath
+configurations — the methodology used for the SRLR-vs-full-swing and
+taps-vs-no-taps comparisons, where both sides must see *identical*
+traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology, NodeId
+from repro.noc.traffic import SyntheticTraffic
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One packet generation event."""
+
+    cycle: int
+    src: NodeId
+    dests: tuple[NodeId, ...]
+    size_flits: int
+
+    def to_packet(self) -> Packet:
+        return Packet(
+            src=self.src,
+            dests=frozenset(self.dests),
+            size_flits=self.size_flits,
+            inject_cycle=self.cycle,
+        )
+
+
+@dataclass
+class TraceTraffic:
+    """A replayable packet trace, API-compatible with SyntheticTraffic."""
+
+    topology: MeshTopology
+    entries: list[TraceEntry]
+    #: Kept for drain compatibility with NocSimulator.run (which zeroes
+    #: the rate during drain); a trace stops producing on its own.
+    injection_rate: float = field(default=1.0)
+
+    def __post_init__(self) -> None:
+        self._by_cycle: dict[int, list[TraceEntry]] = {}
+        for entry in self.entries:
+            if entry.cycle < 0:
+                raise ConfigurationError(f"negative cycle in trace: {entry}")
+            for node in (entry.src, *entry.dests):
+                if not self.topology.contains(node):
+                    raise ConfigurationError(f"trace node {node} outside mesh")
+            self._by_cycle.setdefault(entry.cycle, []).append(entry)
+
+    def packets_for_cycle(self, cycle: int) -> list[Packet]:
+        if self.injection_rate == 0.0:
+            return []  # draining
+        return [e.to_packet() for e in self._by_cycle.get(cycle, [])]
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.entries)
+
+    @property
+    def last_cycle(self) -> int:
+        return max((e.cycle for e in self.entries), default=0)
+
+    # --- persistence -------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON (portable, diffable)."""
+        payload = {
+            "k": self.topology.k,
+            "entries": [
+                {
+                    "cycle": e.cycle,
+                    "src": list(e.src),
+                    "dests": [list(d) for d in e.dests],
+                    "size_flits": e.size_flits,
+                }
+                for e in self.entries
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceTraffic":
+        payload = json.loads(Path(path).read_text())
+        topology = MeshTopology(payload["k"])
+        entries = [
+            TraceEntry(
+                cycle=e["cycle"],
+                src=tuple(e["src"]),
+                dests=tuple(tuple(d) for d in e["dests"]),
+                size_flits=e["size_flits"],
+            )
+            for e in payload["entries"]
+        ]
+        return cls(topology=topology, entries=entries)
+
+
+def record_trace(
+    generator: SyntheticTraffic, n_cycles: int
+) -> TraceTraffic:
+    """Capture ``n_cycles`` of a synthetic generator into a trace."""
+    if n_cycles < 1:
+        raise ConfigurationError(f"n_cycles must be >= 1, got {n_cycles}")
+    entries: list[TraceEntry] = []
+    for cycle in range(n_cycles):
+        for packet in generator.packets_for_cycle(cycle):
+            entries.append(
+                TraceEntry(
+                    cycle=cycle,
+                    src=packet.src,
+                    dests=tuple(sorted(packet.dests)),
+                    size_flits=packet.size_flits,
+                )
+            )
+    return TraceTraffic(topology=generator.topology, entries=entries)
+
+
+__all__ = ["TraceEntry", "TraceTraffic", "record_trace"]

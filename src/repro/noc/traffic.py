@@ -1,0 +1,151 @@
+"""Synthetic traffic generators.
+
+The standard mesh evaluation patterns (uniform random, transpose,
+bit-complement, nearest neighbor, hotspot) plus multicast mixes modeling
+the coherence-style 1-to-N traffic that motivates the SRLR's free
+multicast (Section II / [10]).  Injection is a per-node Bernoulli process
+in packets per node per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+from repro.noc.topology import MeshTopology, NodeId
+
+PATTERNS = (
+    "uniform",
+    "transpose",
+    "bit_complement",
+    "neighbor",
+    "hotspot",
+)
+
+
+def pattern_destination(
+    pattern: str, src: NodeId, k: int, rng: np.random.Generator
+) -> NodeId:
+    """Destination of one unicast packet under a named pattern."""
+    x, y = src
+    if pattern == "uniform":
+        while True:
+            dest = (int(rng.integers(k)), int(rng.integers(k)))
+            if dest != src:
+                return dest
+    if pattern == "transpose":
+        dest = (y, x)
+    elif pattern == "bit_complement":
+        dest = (k - 1 - x, k - 1 - y)
+    elif pattern == "neighbor":
+        dest = ((x + 1) % k, y)
+    elif pattern == "hotspot":
+        dest = (k // 2, k // 2)
+    else:
+        raise ConfigurationError(
+            f"unknown pattern {pattern!r}; choose from {PATTERNS}"
+        )
+    if dest == src:
+        # Self-addressed under a deterministic pattern: fall back to the
+        # east neighbor so the node still exercises the network.
+        dest = ((x + 1) % k, y)
+        if dest == src:
+            raise ConfigurationError("mesh too small for this pattern")
+    return dest
+
+
+@dataclass
+class SyntheticTraffic:
+    """Bernoulli packet injection with a destination pattern.
+
+    Attributes
+    ----------
+    topology:
+        The mesh being driven.
+    injection_rate:
+        Packets per node per cycle (0..1).
+    pattern:
+        One of :data:`PATTERNS`.
+    size_flits:
+        Flits per unicast packet.
+    multicast_fraction:
+        Share of packets that are multicast (single-flit, random
+        destination set of ``multicast_degree``).
+    multicast_degree:
+        Destinations per multicast packet.
+    seed:
+        RNG seed; generation is fully reproducible.
+    """
+
+    topology: MeshTopology
+    injection_rate: float
+    pattern: str = "uniform"
+    size_flits: int = 1
+    multicast_fraction: float = 0.0
+    multicast_degree: int = 4
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.injection_rate <= 1.0:
+            raise ConfigurationError(
+                f"injection_rate must lie in [0, 1], got {self.injection_rate}"
+            )
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(
+                f"unknown pattern {self.pattern!r}; choose from {PATTERNS}"
+            )
+        if self.size_flits < 1:
+            raise ConfigurationError(
+                f"size_flits must be >= 1, got {self.size_flits}"
+            )
+        if not 0.0 <= self.multicast_fraction <= 1.0:
+            raise ConfigurationError(
+                f"multicast_fraction must lie in [0, 1], got {self.multicast_fraction}"
+            )
+        if self.multicast_fraction > 0.0:
+            # The degree only matters when multicasts are actually made.
+            if self.multicast_degree < 2:
+                raise ConfigurationError(
+                    f"multicast_degree must be >= 2, got {self.multicast_degree}"
+                )
+            if self.multicast_degree > self.topology.n_nodes - 1:
+                raise ConfigurationError("multicast_degree exceeds the node count")
+        self._rng = np.random.default_rng(self.seed)
+
+    def _multicast_dests(self, src: NodeId) -> frozenset[NodeId]:
+        candidates = [n for n in self.topology.nodes() if n != src]
+        idx = self._rng.choice(len(candidates), self.multicast_degree, replace=False)
+        return frozenset(candidates[i] for i in idx)
+
+    def packets_for_cycle(self, cycle: int) -> list[Packet]:
+        """Packets generated network-wide at ``cycle``."""
+        out: list[Packet] = []
+        k = self.topology.k
+        for src in self.topology.nodes():
+            if self._rng.random() >= self.injection_rate:
+                continue
+            if (
+                self.multicast_fraction > 0.0
+                and self._rng.random() < self.multicast_fraction
+            ):
+                dests = self._multicast_dests(src)
+                out.append(
+                    Packet(src=src, dests=dests, size_flits=1, inject_cycle=cycle)
+                )
+            else:
+                dest = pattern_destination(self.pattern, src, k, self._rng)
+                out.append(
+                    Packet(
+                        src=src,
+                        dests=frozenset({dest}),
+                        size_flits=self.size_flits,
+                        inject_cycle=cycle,
+                    )
+                )
+        return out
+
+
+__all__ = ["PATTERNS", "SyntheticTraffic", "pattern_destination"]

@@ -1,0 +1,133 @@
+"""Virtual channels and input buffering.
+
+Each input port of the paper's router has 4 virtual channels sharing 16
+flit buffers (we allocate them statically: 4 flits per VC).  A VC holds a
+FIFO of flits plus the wormhole state the router pipeline needs: the
+output port chosen by route computation and the downstream VC granted by
+VC allocation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.noc.packet import Flit
+from repro.noc.topology import Port
+
+
+@dataclass
+class VirtualChannel:
+    """One VC's FIFO and wormhole state."""
+
+    capacity: int
+    fifo: deque[tuple[Flit, int]] = field(default_factory=deque)  # (flit, ready_cycle)
+    out_port: Port | None = None
+    out_vc: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {self.capacity}")
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.fifo)
+
+    @property
+    def is_idle(self) -> bool:
+        """Idle: empty and not mid-packet (available for a new packet)."""
+        return not self.fifo and self.out_port is None
+
+    def push(self, flit: Flit, ready_cycle: int) -> None:
+        if len(self.fifo) >= self.capacity:
+            raise ProtocolError(
+                "VC overflow: credit accounting let a flit in with no space"
+            )
+        self.fifo.append((flit, ready_cycle))
+
+    def front(self, cycle: int) -> Flit | None:
+        """The head-of-line flit if it has cleared the pipeline stages."""
+        if not self.fifo:
+            return None
+        flit, ready = self.fifo[0]
+        return flit if ready <= cycle else None
+
+    def pop(self) -> Flit:
+        if not self.fifo:
+            raise ProtocolError("pop from empty VC")
+        flit, _ = self.fifo.popleft()
+        if flit.is_tail:
+            # Packet done: the VC returns to idle for the next allocation.
+            self.out_port = None
+            self.out_vc = None
+        return flit
+
+
+@dataclass
+class InputPort:
+    """All VCs of one input port."""
+
+    n_vcs: int
+    vc_capacity: int
+    vcs: list[VirtualChannel] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_vcs < 1:
+            raise ConfigurationError(f"n_vcs must be >= 1, got {self.n_vcs}")
+        self.vcs = [VirtualChannel(self.vc_capacity) for _ in range(self.n_vcs)]
+
+    def idle_vc(self) -> int | None:
+        """Index of an idle VC (for an arriving new packet), or None."""
+        for i, vc in enumerate(self.vcs):
+            if vc.is_idle:
+                return i
+        return None
+
+    @property
+    def occupancy(self) -> int:
+        return sum(vc.occupancy for vc in self.vcs)
+
+
+@dataclass
+class OutputPort:
+    """Output-side bookkeeping: downstream credits and VC ownership."""
+
+    n_vcs: int
+    vc_capacity: int
+    credits: list[int] = field(init=False)
+    #: Which local (in_port, in_vc) currently owns each downstream VC;
+    #: None = free.
+    owner: list[tuple[Port, int] | None] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_vcs < 1:
+            raise ConfigurationError(f"n_vcs must be >= 1, got {self.n_vcs}")
+        self.credits = [self.vc_capacity] * self.n_vcs
+        self.owner = [None] * self.n_vcs
+
+    def free_vcs(self) -> list[int]:
+        return [i for i, owner in enumerate(self.owner) if owner is None]
+
+    def acquire(self, vc: int, owner: tuple[Port, int]) -> None:
+        if self.owner[vc] is not None:
+            raise ProtocolError(f"downstream VC {vc} already owned")
+        self.owner[vc] = owner
+
+    def release(self, vc: int) -> None:
+        if self.owner[vc] is None:
+            raise ProtocolError(f"release of free downstream VC {vc}")
+        self.owner[vc] = None
+
+    def consume_credit(self, vc: int) -> None:
+        if self.credits[vc] <= 0:
+            raise ProtocolError(f"credit underflow on VC {vc}")
+        self.credits[vc] -= 1
+
+    def return_credit(self, vc: int) -> None:
+        if self.credits[vc] >= self.vc_capacity:
+            raise ProtocolError(f"credit overflow on VC {vc}")
+        self.credits[vc] += 1
+
+
+__all__ = ["InputPort", "OutputPort", "VirtualChannel"]

@@ -1,0 +1,45 @@
+"""Technology substrate: process parameters, device models, variation.
+
+This package replaces the proprietary 45 nm SOI PDK the paper's chip was
+built in with first-order public models (see DESIGN.md substitution table).
+"""
+
+from repro.tech.corners import (
+    CORNER_SIGMA,
+    GlobalCorner,
+    fixed_corners,
+    sample_global,
+    typical,
+)
+from repro.tech.mosfet import Mosfet, nmos, pmos
+from repro.tech.technology import Technology, tech_45nm_soi, tech_90nm_bulk
+from repro.tech.thermal import T_REF, at_temperature, celsius
+from repro.tech.variation import (
+    VariationSample,
+    corner_sample,
+    monte_carlo_sample,
+    nominal_sample,
+    sigma_vth_local,
+)
+
+__all__ = [
+    "CORNER_SIGMA",
+    "GlobalCorner",
+    "Mosfet",
+    "T_REF",
+    "at_temperature",
+    "celsius",
+    "Technology",
+    "VariationSample",
+    "corner_sample",
+    "fixed_corners",
+    "monte_carlo_sample",
+    "nmos",
+    "nominal_sample",
+    "pmos",
+    "sample_global",
+    "sigma_vth_local",
+    "tech_45nm_soi",
+    "tech_90nm_bulk",
+    "typical",
+]

@@ -1,0 +1,82 @@
+"""Global (die-to-die) process corners.
+
+A corner is a pair of threshold-voltage shifts, one per device polarity,
+applied identically to *every* device on a die.  The five classical digital
+corners are provided, plus a continuous representation used by Monte Carlo:
+a :class:`GlobalCorner` can hold any (dVth_n, dVth_p) pair, which is how the
+paper's die-to-die variation ("global process variation") enters the SRLR
+failure analysis of Section III.
+
+Sign convention: a *negative* dVth makes the device stronger/faster, so
+FF = (-s, -s), SS = (+s, +s), FS (fast NMOS, slow PMOS) = (-s, +s),
+SF = (+s, -s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology
+
+#: Number of global sigma a fixed corner represents.
+CORNER_SIGMA = 3.0
+
+
+@dataclass(frozen=True)
+class GlobalCorner:
+    """A die-to-die process point: threshold shifts shared by all devices."""
+
+    name: str
+    dvth_n: float
+    dvth_p: float
+
+    def is_typical(self) -> bool:
+        return self.dvth_n == 0.0 and self.dvth_p == 0.0
+
+    def scaled(self, factor: float) -> "GlobalCorner":
+        """Return the corner with both shifts scaled (for partial-corner sweeps)."""
+        return GlobalCorner(
+            f"{self.name}x{factor:g}", self.dvth_n * factor, self.dvth_p * factor
+        )
+
+
+def typical() -> GlobalCorner:
+    return GlobalCorner("TT", 0.0, 0.0)
+
+
+def fixed_corners(tech: Technology, n_sigma: float = CORNER_SIGMA) -> dict[str, GlobalCorner]:
+    """The five classical corners at ``n_sigma`` global sigma for ``tech``."""
+    if n_sigma < 0.0:
+        raise ConfigurationError(f"n_sigma must be non-negative, got {n_sigma}")
+    s = n_sigma * tech.sigma_vth_global
+    return {
+        "TT": GlobalCorner("TT", 0.0, 0.0),
+        "FF": GlobalCorner("FF", -s, -s),
+        "SS": GlobalCorner("SS", +s, +s),
+        "FS": GlobalCorner("FS", -s, +s),
+        "SF": GlobalCorner("SF", +s, -s),
+    }
+
+
+def sample_global(
+    tech: Technology, rng: np.random.Generator, nmos_pmos_correlation: float = 0.6
+) -> GlobalCorner:
+    """Draw one die's global corner from the continuous die-to-die distribution.
+
+    NMOS and PMOS thresholds on one die are partially correlated (common
+    lithography / oxide steps move both; implant steps are per-polarity).
+    ``nmos_pmos_correlation`` sets that coupling.
+    """
+    if not -1.0 <= nmos_pmos_correlation <= 1.0:
+        raise ConfigurationError(
+            f"correlation must lie in [-1, 1], got {nmos_pmos_correlation}"
+        )
+    rho = nmos_pmos_correlation
+    common = rng.normal()
+    z_n = rho * common + np.sqrt(1.0 - rho * rho) * rng.normal()
+    z_p = rho * common + np.sqrt(1.0 - rho * rho) * rng.normal()
+    s = tech.sigma_vth_global
+    return GlobalCorner("MC", float(z_n * s), float(z_p * s))

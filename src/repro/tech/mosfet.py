@@ -1,0 +1,139 @@
+"""Alpha-power-law MOSFET model.
+
+The SRLR's robustness arguments (Sections II-III of the paper) all reduce to
+how device drive strength and effective resistance move with threshold
+voltage across process corners.  The alpha-power law (Sakurai-Newton)
+captures exactly that first-order dependence:
+
+    Ids_sat = k * W * (Vgs - Vth)^alpha            (saturation)
+    Ids_lin = Ids_sat * (2 - Vds/Vdsat) * Vds/Vdsat  (triode, smooth blend)
+
+with a subthreshold exponential below Vth so that near-threshold sensing
+(the SRLR input NMOS M1 sees a ~200 mV pulse against a ~320 mV Vth) conducts
+a small but nonzero current.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology
+from repro.units import UM, VT_THERMAL
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """A single MOSFET instance of one polarity.
+
+    Voltages are handled in magnitude form: for a PMOS, pass |Vgs| and |Vds|
+    and read current magnitudes.  ``vth`` already includes any corner or
+    mismatch shift applied by the caller.
+
+    Attributes
+    ----------
+    tech:
+        Technology the device is drawn in.
+    width:
+        Gate width in meters.
+    vth:
+        Effective threshold-voltage magnitude in volts.
+    polarity:
+        ``"n"`` or ``"p"``; PMOS drive is derated by ``PMOS_DRIVE_RATIO``.
+    """
+
+    tech: Technology
+    width: float
+    vth: float
+    polarity: str = "n"
+
+    #: PMOS mobility derating relative to NMOS at equal width.
+    PMOS_DRIVE_RATIO = 0.45
+
+    #: Subthreshold current at Vgs = Vth, per meter of width.
+    I0_PER_M = 0.35  # A/m -> ~0.35 uA/um, a typical 45 nm-class value
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0:
+            raise ConfigurationError(f"width must be positive, got {self.width}")
+        if self.polarity not in ("n", "p"):
+            raise ConfigurationError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.vth <= 0.0:
+            raise ConfigurationError(f"vth magnitude must be positive, got {self.vth}")
+
+    @property
+    def _k_eff(self) -> float:
+        k = self.tech.k_drive * self.width
+        if self.polarity == "p":
+            k *= self.PMOS_DRIVE_RATIO
+        return k
+
+    def ids_sat(self, vgs: float) -> float:
+        """Saturation drain current magnitude at gate overdrive ``vgs - vth``.
+
+        Below threshold the current rolls off exponentially with the
+        technology's subthreshold slope; above threshold it follows the
+        alpha-power law.  The two regions are continuous at Vgs = Vth.
+        """
+        if vgs <= 0.0:
+            return 0.0
+        n_vt = self.tech.subthreshold_slope_n * VT_THERMAL
+        i0 = self.I0_PER_M * self.width * (
+            self.PMOS_DRIVE_RATIO if self.polarity == "p" else 1.0
+        )
+        overdrive = vgs - self.vth
+        if overdrive <= 0.0:
+            return i0 * math.exp(overdrive / n_vt)
+        # Smooth hand-off: subthreshold floor plus the alpha-power term.
+        return i0 + self._k_eff * overdrive**self.tech.alpha
+
+    def vdsat(self, vgs: float) -> float:
+        """Saturation drain voltage, ~proportional to overdrive."""
+        overdrive = max(vgs - self.vth, 0.0)
+        return max(0.12 * self.vth, 0.8 * overdrive)
+
+    def ids(self, vgs: float, vds: float) -> float:
+        """Drain current magnitude including the triode region."""
+        if vds <= 0.0:
+            return 0.0
+        isat = self.ids_sat(vgs)
+        vdsat = self.vdsat(vgs)
+        if vds >= vdsat:
+            return isat
+        x = vds / vdsat
+        return isat * x * (2.0 - x)
+
+    def r_on(self, vgs: float | None = None) -> float:
+        """Effective on-resistance for RC delay estimates.
+
+        Uses the standard effective-resistance abstraction
+        R_eff ~ Vdd / Ids_sat(Vgs=Vdd) scaled by 3/4 to average the
+        discharge trajectory.  Returns ``inf`` when the device is off.
+        """
+        vgs = self.tech.vdd if vgs is None else vgs
+        isat = self.ids_sat(vgs)
+        if isat <= 0.0:
+            return math.inf
+        return 0.75 * self.tech.vdd / isat
+
+    @property
+    def gate_cap(self) -> float:
+        """Gate capacitance in farads."""
+        return self.tech.gate_c_per_m * self.width
+
+    def scaled(self, factor: float) -> "Mosfet":
+        """Return a copy with the gate width scaled by ``factor``."""
+        if factor <= 0.0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return Mosfet(self.tech, self.width * factor, self.vth, self.polarity)
+
+
+def nmos(tech: Technology, width_um: float, vth_shift: float = 0.0) -> Mosfet:
+    """Convenience constructor: NMOS with width in microns and a Vth shift."""
+    return Mosfet(tech, width_um * UM, tech.vth_n + vth_shift, "n")
+
+
+def pmos(tech: Technology, width_um: float, vth_shift: float = 0.0) -> Mosfet:
+    """Convenience constructor: PMOS with width in microns and a Vth shift."""
+    return Mosfet(tech, width_um * UM, tech.vth_p + vth_shift, "p")

@@ -1,0 +1,188 @@
+"""Technology parameter bundles.
+
+The paper's test chip is fabricated in 45 nm SOI CMOS; the prior works it
+compares against (Table I) are in 90 nm bulk CMOS.  We cannot use the real
+(proprietary) PDKs, so each :class:`Technology` collects the handful of
+public-domain, first-order parameters the behavioral models need:
+
+* supply voltage and nominal threshold voltages,
+* an alpha-power-law drive-current coefficient,
+* wire resistance and capacitance per unit length for the minimum-pitch
+  intermediate-metal wires a mesh NoC datapath uses,
+* gate capacitance per unit transistor width,
+* global (die-to-die) and local (mismatch) threshold-variation statistics.
+
+Values are calibrated so that the paper's pinned operating points come out
+right (e.g. ~200 mV swing on a 1 mm wire yields ~40 fJ/bit/mm at 0.8 V); see
+DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import FF, MM, NM, OHM, UM
+
+
+@dataclass(frozen=True)
+class Technology:
+    """First-order process technology description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"45nm SOI CMOS"``.
+    feature_size:
+        Drawn feature size in meters (45e-9 for the paper's process).
+    vdd:
+        Nominal core supply voltage in volts.  The paper operates at 0.8 V.
+    vth_n / vth_p:
+        Nominal NMOS / PMOS threshold-voltage magnitudes in volts.
+    alpha:
+        Alpha-power-law velocity-saturation exponent (~1.3 at 45 nm).
+    k_drive:
+        Saturation drive-current coefficient in A/m of gate width at
+        (Vgs - Vth) = 1 V; Ids = k_drive * W * (Vgs - Vth)^alpha.
+    subthreshold_slope_n:
+        Subthreshold ideality factor n (I ~ exp(Vgs - Vth)/(n kT/q)).
+    wire_r_per_m:
+        Wire resistance per meter for a minimum-width intermediate wire.
+    wire_c_ground_per_m:
+        Parallel-plate + fringe capacitance to ground per meter.
+    wire_c_coupling_per_m:
+        Sidewall coupling capacitance per meter *per neighbor* at the
+        reference spacing ``wire_ref_space``.
+    wire_ref_width / wire_ref_space:
+        The reference wire geometry at which the R/C numbers above hold.
+    gate_c_per_m:
+        Transistor gate capacitance per meter of width.
+    sigma_vth_global:
+        Die-to-die (global) threshold standard deviation in volts.  All
+        devices of one polarity on a die share one draw.
+    avt_mismatch:
+        Pelgrom mismatch coefficient in V*m (sigma_dVth = avt / sqrt(W*L)).
+    """
+
+    name: str
+    feature_size: float
+    vdd: float
+    vth_n: float
+    vth_p: float
+    alpha: float
+    k_drive: float
+    subthreshold_slope_n: float
+    wire_r_per_m: float
+    wire_c_ground_per_m: float
+    wire_c_coupling_per_m: float
+    wire_ref_width: float
+    wire_ref_space: float
+    gate_c_per_m: float
+    sigma_vth_global: float
+    avt_mismatch: float
+
+    def __post_init__(self) -> None:
+        positives = {
+            "feature_size": self.feature_size,
+            "vdd": self.vdd,
+            "vth_n": self.vth_n,
+            "vth_p": self.vth_p,
+            "alpha": self.alpha,
+            "k_drive": self.k_drive,
+            "subthreshold_slope_n": self.subthreshold_slope_n,
+            "wire_r_per_m": self.wire_r_per_m,
+            "wire_c_ground_per_m": self.wire_c_ground_per_m,
+            "wire_c_coupling_per_m": self.wire_c_coupling_per_m,
+            "wire_ref_width": self.wire_ref_width,
+            "wire_ref_space": self.wire_ref_space,
+            "gate_c_per_m": self.gate_c_per_m,
+            "sigma_vth_global": self.sigma_vth_global,
+            "avt_mismatch": self.avt_mismatch,
+        }
+        for key, value in positives.items():
+            if value <= 0.0:
+                raise ConfigurationError(f"{key} must be positive, got {value}")
+        if self.vth_n >= self.vdd:
+            raise ConfigurationError(
+                f"vth_n ({self.vth_n}) must be below vdd ({self.vdd})"
+            )
+
+    # --- derived wire quantities -------------------------------------------------
+
+    @property
+    def wire_ref_pitch(self) -> float:
+        """Reference wire pitch (width + space) in meters."""
+        return self.wire_ref_width + self.wire_ref_space
+
+    def wire_c_total_per_m(self, n_neighbors: int = 2) -> float:
+        """Total switched capacitance per meter at the reference geometry.
+
+        ``n_neighbors`` counts adjacent aggressor wires (2 for a wire inside
+        a dense parallel bus, 1 at the bus edge, 0 for an isolated wire).
+        """
+        if n_neighbors not in (0, 1, 2):
+            raise ConfigurationError(f"n_neighbors must be 0, 1 or 2, got {n_neighbors}")
+        return self.wire_c_ground_per_m + n_neighbors * self.wire_c_coupling_per_m
+
+    def with_vdd(self, vdd: float) -> "Technology":
+        """Return a copy operating at a different supply voltage."""
+        return replace(self, vdd=vdd)
+
+
+def tech_45nm_soi(vdd: float = 0.8) -> Technology:
+    """The paper's process: 45 nm SOI CMOS operated at 0.8 V.
+
+    Wire numbers describe a minimum-pitch intermediate-metal NoC wire with
+    0.3 um width and 0.3 um spacing (0.6 um pitch — this pitch together with
+    the measured 4.1 Gb/s reproduces the paper's 6.83 Gb/s/um bandwidth
+    density exactly).  R = 350 Ohm/mm (0.25 um-thick copper at 0.3 um
+    width) and C_total ~ 0.25 fF/um (ground + two-neighbor coupling) are
+    representative of 45 nm intermediate-metal wires and reproduce both the
+    pulse-attenuation behavior and the 40.4 fJ/bit/mm operating point.
+    """
+    return Technology(
+        name="45nm SOI CMOS",
+        feature_size=45 * NM,
+        vdd=vdd,
+        vth_n=0.32,
+        vth_p=0.30,
+        alpha=1.3,
+        k_drive=550.0,  # A per meter of width at 1 V overdrive
+        subthreshold_slope_n=1.45,
+        wire_r_per_m=350 * OHM / MM,
+        wire_c_ground_per_m=112 * FF / MM,
+        wire_c_coupling_per_m=54 * FF / MM,
+        wire_ref_width=0.3 * UM,
+        wire_ref_space=0.3 * UM,
+        gate_c_per_m=1.0 * FF / UM,
+        sigma_vth_global=0.030,
+        avt_mismatch=3.5e-9,  # 3.5 mV*um
+    )
+
+
+def tech_90nm_bulk(vdd: float = 1.0) -> Technology:
+    """90 nm bulk CMOS, the process of Table I's prior works [25][26][27].
+
+    Wires at 90 nm have lower resistance per mm (wider minimum pitch) but a
+    similar capacitance per mm; CMOS scaling does not reduce wire cap per
+    length (Table I footnote) so the per-mm energy of wire-dominated links
+    barely improves across nodes.
+    """
+    return Technology(
+        name="90nm bulk CMOS",
+        feature_size=90 * NM,
+        vdd=vdd,
+        vth_n=0.35,
+        vth_p=0.33,
+        alpha=1.35,
+        k_drive=420.0,
+        subthreshold_slope_n=1.5,
+        wire_r_per_m=300 * OHM / MM,
+        wire_c_ground_per_m=140 * FF / MM,
+        wire_c_coupling_per_m=55 * FF / MM,
+        wire_ref_width=0.4 * UM,
+        wire_ref_space=0.4 * UM,
+        gate_c_per_m=1.2 * FF / UM,
+        sigma_vth_global=0.025,
+        avt_mismatch=4.5e-9,
+    )

@@ -1,0 +1,62 @@
+"""Temperature dependence of the process models.
+
+The paper's bias generator is "tolerant of process and temperature
+variations" (footnote 3) — a claim that needs a temperature model to
+check.  First-order silicon physics:
+
+* threshold voltage falls with temperature, ~ -1 mV/K;
+* mobility (and so the drive coefficient) falls as (T/300K)^-1.5;
+* the subthreshold slope's thermal voltage kT/q grows linearly with T.
+
+All three fold into the existing :class:`~repro.tech.technology.Technology`
+fields, so a temperature point is just another technology instance and
+every downstream model works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology
+
+#: Reference temperature of the calibrated models, kelvin.
+T_REF = 300.0
+
+#: Threshold sensitivity, volts per kelvin (magnitude decreases with T).
+VTH_TEMPERATURE_COEFF = 1.0e-3
+
+#: Mobility exponent: k_drive ~ (T/T_REF)^-MOBILITY_EXPONENT.
+MOBILITY_EXPONENT = 1.5
+
+
+def at_temperature(tech: Technology, temperature_k: float) -> Technology:
+    """``tech`` re-evaluated at ``temperature_k``.
+
+    Returns a new Technology with shifted thresholds, derated (or boosted)
+    drive, and a rescaled subthreshold ideality so the effective n*kT/q
+    tracks the physical thermal voltage.
+    """
+    if temperature_k <= 0.0:
+        raise ConfigurationError(
+            f"temperature must be positive kelvin, got {temperature_k}"
+        )
+    dt = temperature_k - T_REF
+    t_ratio = temperature_k / T_REF
+    dvth = -VTH_TEMPERATURE_COEFF * dt
+    return replace(
+        tech,
+        name=f"{tech.name} @ {temperature_k:.0f}K",
+        vth_n=max(tech.vth_n + dvth, 0.02),
+        vth_p=max(tech.vth_p + dvth, 0.02),
+        k_drive=tech.k_drive * t_ratio**-MOBILITY_EXPONENT,
+        subthreshold_slope_n=tech.subthreshold_slope_n * t_ratio,
+    )
+
+
+def celsius(temp_c: float) -> float:
+    """Convenience: degrees Celsius to kelvin."""
+    return temp_c + 273.15
+
+
+__all__ = ["MOBILITY_EXPONENT", "T_REF", "VTH_TEMPERATURE_COEFF", "at_temperature", "celsius"]

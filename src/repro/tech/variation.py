@@ -1,0 +1,102 @@
+"""Local (within-die) mismatch and the combined variation sample.
+
+Local variation follows the Pelgrom model: the threshold mismatch of a
+device with gate area W*L has standard deviation
+
+    sigma_dVth = A_vt / sqrt(W * L)
+
+and is independent device to device.  A :class:`VariationSample` bundles one
+die's global corner with a per-device local draw stream, so a circuit model
+can ask for the effective Vth of each named device and get a reproducible
+answer for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tech.corners import GlobalCorner, sample_global, typical
+from repro.tech.technology import Technology
+
+
+def sigma_vth_local(tech: Technology, width: float, length: float | None = None) -> float:
+    """Pelgrom mismatch sigma for a device of ``width`` (and ``length``) meters.
+
+    ``length`` defaults to the technology feature size (minimum-length
+    devices, the common case for datapath transistors).
+    """
+    if width <= 0.0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    length = tech.feature_size if length is None else length
+    if length <= 0.0:
+        raise ConfigurationError(f"length must be positive, got {length}")
+    return tech.avt_mismatch / np.sqrt(width * length)
+
+
+@dataclass
+class VariationSample:
+    """One die's worth of process variation.
+
+    The global corner is shared by every device; local draws are memoized by
+    device name so that repeated queries for the same device (e.g. the same
+    SRLR stage's M1 during different bits) return the same shift.
+    """
+
+    tech: Technology
+    global_corner: GlobalCorner
+    rng: np.random.Generator
+    local_enabled: bool = True
+    _local_cache: dict[str, float] = field(default_factory=dict)
+
+    def vth(self, name: str, polarity: str, width: float) -> float:
+        """Effective threshold magnitude for the named device."""
+        if polarity == "n":
+            base = self.tech.vth_n + self.global_corner.dvth_n
+        elif polarity == "p":
+            base = self.tech.vth_p + self.global_corner.dvth_p
+        else:
+            raise ConfigurationError(f"polarity must be 'n' or 'p', got {polarity!r}")
+        return base + self.local_shift(name, width)
+
+    def local_shift(self, name: str, width: float) -> float:
+        """Memoized local mismatch draw for the named device."""
+        if not self.local_enabled:
+            return 0.0
+        if name not in self._local_cache:
+            sigma = sigma_vth_local(self.tech, width)
+            self._local_cache[name] = float(self.rng.normal(0.0, sigma))
+        return self._local_cache[name]
+
+
+def nominal_sample(tech: Technology) -> VariationSample:
+    """A variation-free sample (typical corner, no mismatch)."""
+    return VariationSample(
+        tech=tech,
+        global_corner=typical(),
+        rng=np.random.default_rng(0),
+        local_enabled=False,
+    )
+
+
+def corner_sample(tech: Technology, corner: GlobalCorner) -> VariationSample:
+    """A deterministic corner-only sample (no local mismatch)."""
+    return VariationSample(
+        tech=tech, global_corner=corner, rng=np.random.default_rng(0), local_enabled=False
+    )
+
+
+def monte_carlo_sample(
+    tech: Technology,
+    seed: int | np.random.Generator,
+    nmos_pmos_correlation: float = 0.6,
+    local_enabled: bool = True,
+) -> VariationSample:
+    """A full Monte Carlo sample: random global corner + local mismatch stream."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    corner = sample_global(tech, rng, nmos_pmos_correlation)
+    return VariationSample(
+        tech=tech, global_corner=corner, rng=rng, local_enabled=local_enabled
+    )

@@ -1,0 +1,83 @@
+"""Unit constants and helpers.
+
+All internal quantities are SI (seconds, volts, ohms, farads, joules, watts,
+meters, bits/second).  These constants exist so call sites can say
+``100 * PS`` or ``1.55 * KOHM_PER_MM`` instead of raw exponents, and so
+reported values can be converted back into the units the paper uses
+(fJ/bit/mm, Gb/s/um, ...).
+"""
+
+from __future__ import annotations
+
+# --- time ---
+S = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+PS = 1e-12
+
+# --- length ---
+M = 1.0
+MM = 1e-3
+UM = 1e-6
+NM = 1e-9
+CM = 1e-2
+
+# --- capacitance ---
+F = 1.0
+PF = 1e-12
+FF = 1e-15
+
+# --- resistance ---
+OHM = 1.0
+KOHM = 1e3
+
+# --- energy / power ---
+J = 1.0
+PJ = 1e-12
+FJ = 1e-15
+W = 1.0
+MW = 1e-3
+UW = 1e-6
+
+# --- voltage / current ---
+V = 1.0
+MV = 1e-3
+A = 1.0
+MA = 1e-3
+UA = 1e-6
+
+# --- data rate ---
+BPS = 1.0
+GBPS = 1e9
+MBPS = 1e6
+
+# Thermal voltage at 300 K (kT/q), used by subthreshold conduction models.
+VT_THERMAL = 0.02585
+
+
+def fj_per_bit_per_mm(energy_j_per_bit: float, length_m: float) -> float:
+    """Convert a per-bit link energy in joules to the paper's fJ/bit/mm unit.
+
+    ``energy_j_per_bit`` is the energy for one bit traversing ``length_m``
+    of wire.
+    """
+    if length_m <= 0.0:
+        raise ValueError(f"length must be positive, got {length_m}")
+    return energy_j_per_bit / FJ / (length_m / MM)
+
+
+def fj_per_bit_per_cm(energy_j_per_bit: float, length_m: float) -> float:
+    """Convert a per-bit link energy in joules to fJ/bit/cm (Table I unit)."""
+    return 10.0 * fj_per_bit_per_mm(energy_j_per_bit, length_m)
+
+
+def gbps_per_um(data_rate_bps: float, pitch_m: float) -> float:
+    """Bandwidth density in Gb/s/um: per-wire data rate over the wire pitch.
+
+    The paper normalizes bandwidth by wire density given by wire width and
+    space (footnote 1), i.e. one wire's data rate divided by its pitch.
+    """
+    if pitch_m <= 0.0:
+        raise ValueError(f"pitch must be positive, got {pitch_m}")
+    return (data_rate_bps / GBPS) / (pitch_m / UM)

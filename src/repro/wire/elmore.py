@@ -1,0 +1,119 @@
+"""Elmore delay and classic full-swing repeater insertion.
+
+These closed forms serve the *baseline*: a conventional full-swing repeated
+wire, against which the SRLR's energy advantage is measured.  They follow
+the standard Bakoglu treatment: a wire of total resistance R and
+capacitance C, broken into k segments by repeaters of drive resistance Rd,
+input capacitance Cg and output (diffusion) capacitance Cd, has delay
+
+    T = k * [ 0.69 Rd (C/k + Cd + Cg) + (R/k) (0.38 C/k + 0.69 Cg) ]
+
+minimized at the well-known optimal k and repeater size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.mosfet import nmos, pmos
+from repro.tech.technology import Technology
+from repro.wire.rc import WireSegment
+
+
+@dataclass(frozen=True)
+class RepeaterDesign:
+    """A full-swing repeated-wire design point."""
+
+    n_repeaters: int
+    size_factor: float  # repeater width relative to a unit (1 um NMOS) inverter
+    delay: float  # end-to-end delay, seconds
+    repeater_cap: float  # total repeater input+output capacitance, farads
+
+
+def unit_inverter_r(tech: Technology) -> float:
+    """Drive resistance of a unit inverter (1 um NMOS, 2.2 um PMOS)."""
+    n = nmos(tech, 1.0)
+    p = pmos(tech, 2.2)
+    # Average of pull-down and pull-up effective resistances.
+    return 0.5 * (n.r_on() + p.r_on())
+
+
+def unit_inverter_c(tech: Technology) -> float:
+    """Input capacitance of the unit inverter (gate caps of both devices)."""
+    return nmos(tech, 1.0).gate_cap + pmos(tech, 2.2).gate_cap
+
+
+def elmore_delay(segment: WireSegment, r_drive: float, c_load: float) -> float:
+    """Elmore delay of a driven, loaded uniform wire (0.69/0.38 coefficients)."""
+    if r_drive < 0.0 or c_load < 0.0:
+        raise ConfigurationError("r_drive and c_load must be non-negative")
+    r, c = segment.resistance, segment.capacitance
+    return 0.69 * r_drive * (c + c_load) + 0.38 * r * c + 0.69 * r * c_load
+
+
+def repeated_wire_delay(
+    segment: WireSegment,
+    n_repeaters: int,
+    size_factor: float,
+    tech: Technology | None = None,
+) -> float:
+    """Delay of ``segment`` broken into ``n_repeaters`` equal stages."""
+    if n_repeaters < 1:
+        raise ConfigurationError(f"n_repeaters must be >= 1, got {n_repeaters}")
+    if size_factor <= 0.0:
+        raise ConfigurationError(f"size_factor must be positive, got {size_factor}")
+    tech = tech or segment.tech
+    rd = unit_inverter_r(tech) / size_factor
+    cg = unit_inverter_c(tech) * size_factor
+    cd = 0.6 * cg  # diffusion cap, a standard fraction of gate cap
+    stage = segment.scaled_to_length(segment.length / n_repeaters)
+    per_stage = (
+        0.69 * rd * (stage.capacitance + cd + cg)
+        + 0.38 * stage.resistance * stage.capacitance
+        + 0.69 * stage.resistance * cg
+    )
+    return n_repeaters * per_stage
+
+
+def optimal_repeaters(segment: WireSegment, tech: Technology | None = None) -> RepeaterDesign:
+    """Delay-optimal repeater count and size for a full-swing wire.
+
+    Classic closed forms:  k_opt = sqrt(0.38 R C / (0.69 Rd0 Cg0 (1 + cd)))
+    and  h_opt = sqrt(Rd0 C / (R Cg0)), rounded/clamped to physical values.
+    """
+    tech = tech or segment.tech
+    rd0 = unit_inverter_r(tech)
+    cg0 = unit_inverter_c(tech)
+    r, c = segment.resistance, segment.capacitance
+    k_opt = math.sqrt((0.38 * r * c) / (0.69 * rd0 * cg0 * 1.6))
+    h_opt = math.sqrt((rd0 * c) / (r * cg0))
+    k = max(1, round(k_opt))
+    h = max(1.0, h_opt)
+    delay = repeated_wire_delay(segment, k, h, tech)
+    cap = k * (1.6 * cg0 * h)  # gate + diffusion cap of all repeaters
+    return RepeaterDesign(n_repeaters=k, size_factor=h, delay=delay, repeater_cap=cap)
+
+
+def full_swing_energy_per_bit(
+    segment: WireSegment,
+    tech: Technology | None = None,
+    activity: float = 0.5,
+    design: RepeaterDesign | None = None,
+) -> float:
+    """Energy per bit of a conventional full-swing repeated wire.
+
+    ``activity`` is the transition probability per bit (0.5 for random NRZ
+    data).  Every transition charges or discharges the full wire plus
+    repeater capacitance across Vdd, costing alpha * C_total * Vdd^2 per
+    bit on average (each full cycle draws C Vdd^2 from the supply; one
+    transition averages half a cycle... the standard alpha C V^2 accounting
+    with alpha = transitions per bit already absorbs this).
+    """
+    if not 0.0 <= activity <= 1.0:
+        raise ConfigurationError(f"activity must lie in [0, 1], got {activity}")
+    tech = tech or segment.tech
+    design = design or optimal_repeaters(segment, tech)
+    c_total = segment.capacitance + design.repeater_cap
+    return activity * c_total * tech.vdd**2

@@ -1,0 +1,107 @@
+"""Pi-ladder discretization of a distributed RC wire.
+
+A uniform RC wire driven through a Thevenin source resistance and loaded by
+a lumped receiver capacitance is discretized into N pi sections.  The result
+is a linear state space
+
+    C dv/dt = -G v + b * u(t)
+
+with diagonal capacitance matrix C, symmetric conductance Laplacian G and
+source-coupling vector b, which :mod:`repro.wire.transient` solves exactly.
+Twenty sections approximate the distributed line to well under 1% in delay
+and peak attenuation, which is far inside the accuracy the behavioral SRLR
+model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.wire.rc import WireSegment
+
+DEFAULT_SECTIONS = 20
+
+
+@dataclass(frozen=True)
+class LadderNetwork:
+    """State-space matrices of a driven, loaded RC ladder.
+
+    Attributes
+    ----------
+    c:
+        Node capacitances, shape (n,).
+    g:
+        Conductance Laplacian including the driver conductance at node 0,
+        shape (n, n); symmetric positive definite.
+    b:
+        Source coupling (conductance from the ideal source to each node),
+        shape (n,).
+    """
+
+    c: np.ndarray
+    g: np.ndarray
+    b: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.c)
+
+    @property
+    def far_node(self) -> int:
+        """Index of the receiver-end node."""
+        return self.n_nodes - 1
+
+
+def build_ladder(
+    segment: WireSegment,
+    r_drive: float,
+    c_load: float = 0.0,
+    n_sections: int = DEFAULT_SECTIONS,
+) -> LadderNetwork:
+    """Discretize ``segment`` into an ``n_sections`` pi ladder.
+
+    Parameters
+    ----------
+    segment:
+        The wire being modeled.
+    r_drive:
+        Thevenin resistance of the driver, ohms.  Must be positive: an
+        ideal voltage source directly on a capacitive node would make the
+        state matrix singular.
+    c_load:
+        Lumped receiver capacitance at the far end (gate cap of the next
+        stage's input device), farads.
+    """
+    if r_drive <= 0.0:
+        raise ConfigurationError(f"r_drive must be positive, got {r_drive}")
+    if c_load < 0.0:
+        raise ConfigurationError(f"c_load must be non-negative, got {c_load}")
+    if n_sections < 1:
+        raise ConfigurationError(f"n_sections must be >= 1, got {n_sections}")
+
+    r_section = segment.resistance / n_sections
+    c_section = segment.capacitance / n_sections
+    n_nodes = n_sections + 1
+
+    # Pi sections: half the section capacitance at each section boundary.
+    c = np.full(n_nodes, c_section)
+    c[0] = 0.5 * c_section
+    c[-1] = 0.5 * c_section + c_load
+
+    g = np.zeros((n_nodes, n_nodes))
+    g_section = 1.0 / r_section
+    for i in range(n_sections):
+        g[i, i] += g_section
+        g[i + 1, i + 1] += g_section
+        g[i, i + 1] -= g_section
+        g[i + 1, i] -= g_section
+
+    b = np.zeros(n_nodes)
+    g_drive = 1.0 / r_drive
+    g[0, 0] += g_drive
+    b[0] = g_drive
+
+    return LadderNetwork(c=c, g=g, b=b)

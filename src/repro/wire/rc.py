@@ -1,0 +1,123 @@
+"""Wire geometry and per-length RC extraction.
+
+The bandwidth-density axis of Fig. 8 is swept by changing wire pitch:
+narrower/denser wires carry more Gb/s per um of die width but have higher
+resistance and higher sidewall coupling capacitance, which raises energy per
+bit (Table I footnote).  This module provides that geometry -> (R, C)
+mapping, anchored at each technology's reference geometry.
+
+Scaling model (first order, adequate for the trends the paper argues):
+
+* resistance per meter scales inversely with wire width;
+* ground capacitance per meter is roughly geometry-independent (plate term
+  grows with width while the fringe term shrinks);
+* coupling capacitance per meter scales inversely with spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class WireGeometry:
+    """Drawn width and spacing of a signal wire, in meters."""
+
+    width: float
+    space: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0:
+            raise ConfigurationError(f"wire width must be positive, got {self.width}")
+        if self.space <= 0.0:
+            raise ConfigurationError(f"wire space must be positive, got {self.space}")
+
+    @property
+    def pitch(self) -> float:
+        return self.width + self.space
+
+    @classmethod
+    def reference(cls, tech: Technology) -> "WireGeometry":
+        """The geometry at which the technology's R/C numbers are quoted."""
+        return cls(tech.wire_ref_width, tech.wire_ref_space)
+
+    @classmethod
+    def from_pitch(cls, pitch: float, width_fraction: float = 0.5) -> "WireGeometry":
+        """Build a geometry from a pitch, splitting it width/space."""
+        if not 0.0 < width_fraction < 1.0:
+            raise ConfigurationError(
+                f"width_fraction must lie in (0, 1), got {width_fraction}"
+            )
+        return cls(pitch * width_fraction, pitch * (1.0 - width_fraction))
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """A wire of a given geometry and length in a given technology.
+
+    ``n_neighbors`` counts same-layer aggressors switching around this wire
+    (2 inside a parallel bus).  Coupling capacitance counts fully toward
+    switched energy (worst-case Miller factor is handled by the energy
+    models, not here).
+    """
+
+    tech: Technology
+    geometry: WireGeometry
+    length: float
+    n_neighbors: int = 2
+
+    def __post_init__(self) -> None:
+        if self.length <= 0.0:
+            raise ConfigurationError(f"wire length must be positive, got {self.length}")
+        if self.n_neighbors not in (0, 1, 2):
+            raise ConfigurationError(
+                f"n_neighbors must be 0, 1 or 2, got {self.n_neighbors}"
+            )
+
+    # --- per-meter quantities ---------------------------------------------------
+
+    @property
+    def r_per_m(self) -> float:
+        """Resistance per meter, scaled from the reference width."""
+        return self.tech.wire_r_per_m * (self.tech.wire_ref_width / self.geometry.width)
+
+    @property
+    def c_ground_per_m(self) -> float:
+        return self.tech.wire_c_ground_per_m
+
+    @property
+    def c_coupling_per_m(self) -> float:
+        """Per-neighbor sidewall coupling, scaled from the reference spacing."""
+        return self.tech.wire_c_coupling_per_m * (
+            self.tech.wire_ref_space / self.geometry.space
+        )
+
+    @property
+    def c_total_per_m(self) -> float:
+        return self.c_ground_per_m + self.n_neighbors * self.c_coupling_per_m
+
+    # --- totals -------------------------------------------------------------------
+
+    @property
+    def resistance(self) -> float:
+        return self.r_per_m * self.length
+
+    @property
+    def capacitance(self) -> float:
+        return self.c_total_per_m * self.length
+
+    @property
+    def rc_time_constant(self) -> float:
+        """Distributed RC time constant (R*C/2 for a uniform line)."""
+        return 0.5 * self.resistance * self.capacitance
+
+    def scaled_to_length(self, length: float) -> "WireSegment":
+        return WireSegment(self.tech, self.geometry, length, self.n_neighbors)
+
+
+def reference_segment(tech: Technology, length: float, n_neighbors: int = 2) -> WireSegment:
+    """A segment at the technology's reference geometry (the paper's wires)."""
+    return WireSegment(tech, WireGeometry.reference(tech), length, n_neighbors)

@@ -1,0 +1,152 @@
+"""Exact transient solution of linear RC networks.
+
+The network C dv/dt = -G v + b u(t) with diagonal C > 0 and symmetric
+positive-definite G is solved by symmetrizing with W = diag(sqrt(C)):
+
+    y = W v,   dy/dt = A y + W^{-1} b u,   A = -W^{-1} G W^{-1}
+
+A is symmetric negative definite, so an eigendecomposition A = Q L Q^T with
+all eigenvalues real and negative gives the exact response to any
+piecewise-constant input as a finite sum of decaying exponentials:
+
+    v(t) = v_ss + W^{-1} Q e^{L t} Q^T W (v0 - v_ss)
+
+This replaces SPICE transient analysis for the (linear) wire portion of the
+paper's circuits; it is exact, unconditionally stable, and fast enough to
+sit inside Monte Carlo loops once the decomposition is cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.wire.ladder import LadderNetwork
+
+
+@dataclass(frozen=True)
+class _Modes:
+    """Cached eigendecomposition of the symmetrized network."""
+
+    eigenvalues: np.ndarray  # (n,), all < 0
+    modes_fwd: np.ndarray  # W^{-1} Q, maps modal -> node voltages
+    modes_inv: np.ndarray  # Q^T W, maps node voltages -> modal
+    v_unit_ss: np.ndarray  # steady-state node voltages for u = 1
+
+
+class TransientSolver:
+    """Exact linear transient solver for one :class:`LadderNetwork`.
+
+    The decomposition is computed once at construction; every subsequent
+    response evaluation is a small dense matrix-vector product.
+    """
+
+    def __init__(self, network: LadderNetwork) -> None:
+        self.network = network
+        self._modes = self._decompose(network)
+
+    @staticmethod
+    def _decompose(network: LadderNetwork) -> _Modes:
+        c = network.c
+        if np.any(c <= 0.0):
+            raise ConfigurationError("all node capacitances must be positive")
+        w_inv = 1.0 / np.sqrt(c)
+        a_sym = -(w_inv[:, None] * network.g * w_inv[None, :])
+        eigenvalues, q = np.linalg.eigh(a_sym)
+        if np.any(eigenvalues >= 0.0):
+            # G must be strictly positive definite (driver conductance pins
+            # the DC point); a zero eigenvalue means a floating network.
+            raise SimulationError(
+                "network has a non-decaying mode; is the driver connected?"
+            )
+        v_unit_ss = np.linalg.solve(network.g, network.b)
+        modes_fwd = w_inv[:, None] * q
+        modes_inv = q.T * np.sqrt(c)[None, :]
+        return _Modes(eigenvalues, modes_fwd, modes_inv, v_unit_ss)
+
+    @property
+    def slowest_time_constant(self) -> float:
+        """1/|lambda_min|: the dominant settling time constant, seconds."""
+        return float(-1.0 / np.max(self._modes.eigenvalues))
+
+    def steady_state(self, u: float) -> np.ndarray:
+        """Node voltages after the input has been held at ``u`` forever."""
+        return self._modes.v_unit_ss * u
+
+    def evolve(self, v0: np.ndarray, u: float, times: np.ndarray) -> np.ndarray:
+        """Node voltages at each time in ``times`` with input held at ``u``.
+
+        Returns an array of shape (len(times), n_nodes).  ``times`` are
+        measured from the moment the input steps to ``u`` with the network
+        at state ``v0``.
+        """
+        v0 = np.asarray(v0, dtype=float)
+        if v0.shape != (self.network.n_nodes,):
+            raise ConfigurationError(
+                f"v0 must have shape ({self.network.n_nodes},), got {v0.shape}"
+            )
+        times = np.asarray(times, dtype=float)
+        if np.any(times < 0.0):
+            raise ConfigurationError("times must be non-negative")
+        m = self._modes
+        v_ss = m.v_unit_ss * u
+        modal0 = m.modes_inv @ (v0 - v_ss)
+        decay = np.exp(np.outer(times, m.eigenvalues))  # (t, n)
+        return v_ss[None, :] + decay * modal0[None, :] @ m.modes_fwd.T
+
+    def step_response(self, times: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+        """Response from rest to a step of ``amplitude`` at t = 0."""
+        v0 = np.zeros(self.network.n_nodes)
+        return self.evolve(v0, amplitude, times)
+
+    def pulse_response(
+        self, times: np.ndarray, width: float, amplitude: float = 1.0
+    ) -> np.ndarray:
+        """Response from rest to a rectangular pulse of ``width`` seconds.
+
+        By linearity this is step(t) - step(t - width).
+        """
+        if width <= 0.0:
+            raise ConfigurationError(f"pulse width must be positive, got {width}")
+        times = np.asarray(times, dtype=float)
+        rising = self.step_response(times, amplitude)
+        shifted = np.clip(times - width, 0.0, None)
+        falling = self.step_response(shifted, amplitude)
+        falling[times < width] = 0.0
+        return rising - falling
+
+    def simulate_piecewise(
+        self,
+        breakpoints: list[tuple[float, float]],
+        t_end: float,
+        n_samples: int = 400,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Simulate a piecewise-constant input waveform.
+
+        ``breakpoints`` is a list of (start_time, level) pairs with strictly
+        increasing start times; the first start time must be 0.  Returns
+        (times, voltages) where voltages has shape (n_samples, n_nodes) on a
+        uniform grid over [0, t_end].
+        """
+        if not breakpoints:
+            raise ConfigurationError("breakpoints must not be empty")
+        starts = [t for t, _ in breakpoints]
+        if starts[0] != 0.0:
+            raise ConfigurationError("first breakpoint must start at t = 0")
+        if any(b >= a for a, b in zip(starts[1:], starts)):
+            raise ConfigurationError("breakpoint times must be strictly increasing")
+        if t_end <= starts[-1]:
+            raise ConfigurationError("t_end must exceed the last breakpoint time")
+
+        times = np.linspace(0.0, t_end, n_samples)
+        out = np.zeros((n_samples, self.network.n_nodes))
+        v = np.zeros(self.network.n_nodes)
+        bounds = starts[1:] + [t_end]
+        for (t0, level), t1 in zip(breakpoints, bounds):
+            mask = (times >= t0) & (times <= t1)
+            if np.any(mask):
+                out[mask] = self.evolve(v, level, times[mask] - t0)
+            v = self.evolve(v, level, np.array([t1 - t0]))[0]
+        return times, out

@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+Expensive objects (designs whose factories solve the wire fixed point,
+instantiated links whose attenuation tables hit the global cache) are
+session-scoped: the underlying models are immutable/deterministic, so
+sharing them across tests is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import SRLRLink, robust_design, straightforward_design
+from repro.circuit.prbs import PrbsGenerator, worst_case_patterns
+from repro.tech import nominal_sample, tech_45nm_soi, tech_90nm_bulk
+from repro.units import MM
+from repro.wire import reference_segment
+
+BIT_PERIOD_4G1 = 1.0 / 4.1e9
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return tech_45nm_soi()
+
+@pytest.fixture(scope="session")
+def tech90():
+    return tech_90nm_bulk()
+
+
+@pytest.fixture(scope="session")
+def segment_1mm(tech):
+    return reference_segment(tech, 1 * MM)
+
+
+@pytest.fixture(scope="session")
+def robust():
+    return robust_design()
+
+
+@pytest.fixture(scope="session")
+def straightforward():
+    return straightforward_design()
+
+
+@pytest.fixture(scope="session")
+def robust_link(robust):
+    return SRLRLink(robust)
+
+
+@pytest.fixture(scope="session")
+def straightforward_link(straightforward):
+    return SRLRLink(straightforward)
+
+
+@pytest.fixture(scope="session")
+def stress_pattern():
+    return PrbsGenerator(7).bits(96) + worst_case_patterns()
+
+
+@pytest.fixture(scope="session")
+def nominal(tech):
+    return nominal_sample(tech)

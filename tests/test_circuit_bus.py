@@ -1,0 +1,83 @@
+"""The 64-bit parallel SRLR bus (Fig. 3's datapath)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.circuit import SRLRBus, bus_yield, random_words, robust_design
+from repro.tech import monte_carlo_sample, tech_45nm_soi
+from repro.units import PS
+
+T_BIT = 1.0 / 4.1e9
+
+
+@pytest.fixture(scope="module")
+def bus8(robust):
+    return SRLRBus(robust, n_bits=8)
+
+
+def test_bus_transmits_words_error_free(bus8):
+    words = random_words(24, 8)
+    out = bus8.transmit_words(words, T_BIT)
+    assert out.ok
+    assert out.words_received == words
+    assert all(e == 0 for e in out.lane_errors)
+
+
+def test_bus_energy_scales_with_width(robust):
+    words = random_words(16, 4)
+    narrow = SRLRBus(robust, n_bits=4).transmit_words(words, T_BIT)
+    wide_words = random_words(16, 8)
+    wide = SRLRBus(robust, n_bits=8).transmit_words(wide_words, T_BIT)
+    assert wide.energy > narrow.energy
+
+
+def test_bus_word_range_checked(bus8):
+    with pytest.raises(ConfigurationError):
+        bus8.transmit_words([1 << 8], T_BIT)
+    with pytest.raises(ConfigurationError):
+        bus8.transmit_words([-1], T_BIT)
+
+
+def test_lanes_share_global_corner_but_not_mismatch(robust):
+    sample = monte_carlo_sample(tech_45nm_soi(), seed=11)
+    bus = SRLRBus(robust, n_bits=4, sample=sample)
+    vths = [lane.stages[0]._m1.vth for lane in bus.lanes]
+    assert len(set(vths)) == 4  # independent local draws per lane
+    spread = max(vths) - min(vths)
+    assert spread < 0.05  # but same die: only mismatch apart
+
+
+def test_nominal_bus_has_no_skew(bus8):
+    assert bus8.skew() == pytest.approx(0.0, abs=1e-15)
+
+
+def test_mismatched_bus_has_finite_skew(robust):
+    sample = monte_carlo_sample(tech_45nm_soi(), seed=5)
+    bus = SRLRBus(robust, n_bits=8, sample=sample)
+    skew = bus.skew()
+    assert 0.0 < skew < 200 * PS  # well inside one UI
+
+
+def test_bus_yield_correlated_lanes():
+    report = bus_yield(n_bits=4, n_runs=40, n_words=24)
+    assert 0.0 <= report.bus_failure_probability <= 1.0
+    # Correlated lanes: measured bus failure is at most the independent
+    # prediction (equality when exactly 0 or shared-corner dominated).
+    assert (
+        report.bus_failure_probability
+        <= report.independence_prediction + 1e-9
+    )
+    # One bad lane kills the word, so the bus fails at least as often as
+    # the per-lane rate.
+    assert report.bus_failure_probability >= report.lane_failure_probability - 1e-9
+
+
+def test_bus_validation(robust):
+    with pytest.raises(ConfigurationError):
+        SRLRBus(robust, n_bits=0)
+    with pytest.raises(ConfigurationError):
+        random_words(0)
+    with pytest.raises(ConfigurationError):
+        bus_yield(n_runs=0)

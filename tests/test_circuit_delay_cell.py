@@ -1,0 +1,81 @@
+"""Delay cells and the alternating plan (Section III-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.circuit import DelayCell, alternating_plan, single_plan
+from repro.tech import (
+    GlobalCorner,
+    corner_sample,
+    monte_carlo_sample,
+    tech_45nm_soi,
+)
+
+TECH = tech_45nm_soi()
+
+
+def test_nominal_delay_scales_with_buffers():
+    assert DelayCell(12).nominal_delay() == pytest.approx(
+        2 * DelayCell(6).nominal_delay()
+    )
+
+
+def test_delay_at_typical_matches_nominal(nominal):
+    cell = DelayCell(6)
+    assert cell.delay(nominal, "s0") == pytest.approx(cell.nominal_delay(), rel=1e-6)
+
+
+def test_delay_slower_at_ss_faster_at_ff(nominal):
+    cell = DelayCell(6)
+    ss = corner_sample(TECH, GlobalCorner("SS", 0.09, 0.09))
+    ff = corner_sample(TECH, GlobalCorner("FF", -0.09, -0.09))
+    assert cell.delay(ss, "s0") > cell.delay(nominal, "s0")
+    assert cell.delay(ff, "s0") < cell.delay(nominal, "s0")
+
+
+def test_local_mismatch_jitters_delay_per_stage():
+    cell = DelayCell(6)
+    sample = monte_carlo_sample(TECH, seed=3)
+    d0 = cell.delay(sample, "stage0")
+    d1 = cell.delay(sample, "stage1")
+    assert d0 != d1
+    # but is reproducible for the same stage
+    assert cell.delay(sample, "stage0") == d0
+
+
+def test_single_plan_uniform():
+    plan = single_plan()
+    cells = {plan.cell_for_stage(i) for i in range(10)}
+    assert len(cells) == 1
+    assert plan.cell_for_stage(0).n_buffers == 6
+
+
+def test_alternating_plan_alternates_and_preserves_mean():
+    plan = alternating_plan(delta_fraction=0.05)
+    long_cell = plan.cell_for_stage(0)
+    short_cell = plan.cell_for_stage(1)
+    assert long_cell.nominal_delay() > short_cell.nominal_delay()
+    assert plan.cell_for_stage(2) is long_cell
+    single = single_plan()
+    assert plan.mean_nominal_delay == pytest.approx(single.mean_nominal_delay)
+
+
+def test_alternating_long_first_flag():
+    plan = alternating_plan(long_first=False)
+    assert plan.cell_for_stage(0).nominal_delay() < plan.cell_for_stage(1).nominal_delay()
+
+
+def test_invalid_configurations():
+    with pytest.raises(ConfigurationError):
+        DelayCell(0)
+    with pytest.raises(ConfigurationError):
+        DelayCell(6, buffer_delay=0.0)
+    with pytest.raises(ConfigurationError):
+        alternating_plan(delta_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        alternating_plan(delta_fraction=1.5)
+    plan = single_plan()
+    with pytest.raises(ConfigurationError):
+        plan.cell_for_stage(-1)

@@ -1,0 +1,175 @@
+"""INV amplifier, output drivers, and the bias / adaptive-swing scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.circuit import (
+    AdaptiveSwingReference,
+    CurrentStarvedInverter,
+    FixedSwingReference,
+    InverterDriver,
+    NMOSDriver,
+    OgueyCurrentReference,
+    adaptive_for_amplitude,
+    fixed_for_amplitude,
+)
+from repro.circuit.bias import BIAS_GENERATOR_POWER
+from repro.tech import GlobalCorner, corner_sample, tech_45nm_soi
+from repro.units import UW
+
+TECH = tech_45nm_soi()
+INV = CurrentStarvedInverter()
+
+
+# --- INV amplifier ---------------------------------------------------------------------
+
+
+def test_switching_threshold_midrange(nominal):
+    vm = INV.switching_threshold(nominal, "s0")
+    assert 0.3 < vm < 0.5
+
+
+def test_threshold_moves_with_corners(nominal):
+    vm_tt = INV.switching_threshold(nominal, "s0")
+    # Strong PMOS (low |vth_p|) pulls the threshold up.
+    strong_p = corner_sample(TECH, GlobalCorner("x", 0.0, -0.06))
+    assert INV.switching_threshold(strong_p, "s0") > vm_tt
+
+
+def test_rise_fall_times_positive_and_corner_sensitive(nominal):
+    tr = INV.intrinsic_rise(nominal, "s0")
+    tf = INV.fall_time(nominal, "s0")
+    assert tr > 0 and tf > 0
+    weak_p = corner_sample(TECH, GlobalCorner("x", 0.0, 0.06))
+    assert INV.intrinsic_rise(weak_p, "s0") > tr
+    assert INV.fall_time(weak_p, "s0") == pytest.approx(tf, rel=1e-6)
+
+
+def test_starving_slows_edges(nominal):
+    starved = CurrentStarvedInverter(starve_factor=5.0)
+    assert starved.intrinsic_rise(nominal, "s0") > INV.intrinsic_rise(nominal, "s0")
+
+
+def test_invalid_inverter_rejected():
+    with pytest.raises(ConfigurationError):
+        CurrentStarvedInverter(width_n=-1.0)
+
+
+# --- drivers ----------------------------------------------------------------------------
+
+
+def test_nmos_driver_clamps_at_vref_minus_vth(nominal):
+    drv = NMOSDriver()
+    launch = drv.launch(nominal, "d0", vref=0.70)
+    assert launch.amplitude == pytest.approx(0.70 - TECH.vth_n)
+
+
+def test_nmos_driver_clamps_vref_at_vdd(nominal):
+    drv = NMOSDriver()
+    launch = drv.launch(nominal, "d0", vref=1.5)
+    assert launch.amplitude == pytest.approx(TECH.vdd - TECH.vth_n)
+
+
+def test_nmos_driver_amplitude_falls_with_weak_nmos():
+    drv = NMOSDriver()
+    weak = corner_sample(TECH, GlobalCorner("SS", 0.06, 0.0))
+    strong = corner_sample(TECH, GlobalCorner("FF", -0.06, 0.0))
+    a_weak = drv.launch(weak, "d0", 0.70).amplitude
+    a_strong = drv.launch(strong, "d0", 0.70).amplitude
+    assert a_weak < a_strong
+
+
+def test_nmos_driver_insensitive_to_pmos_corner(nominal):
+    drv = NMOSDriver()
+    base = drv.launch(nominal, "d0", 0.70)
+    shifted = drv.launch(
+        corner_sample(TECH, GlobalCorner("x", 0.0, 0.09)), "d0", 0.70
+    )
+    assert shifted.amplitude == pytest.approx(base.amplitude)
+    assert shifted.r_up == pytest.approx(base.r_up)
+    assert shifted.r_down == pytest.approx(base.r_down)
+
+
+def test_inverter_driver_full_rail_and_pmos_sensitivity(nominal):
+    drv = InverterDriver()
+    base = drv.launch(nominal, "d0", vref=0.0)  # vref ignored
+    assert base.amplitude == pytest.approx(TECH.vdd)
+    weak_p = corner_sample(TECH, GlobalCorner("x", 0.0, 0.06))
+    assert drv.launch(weak_p, "d0", 0.0).r_up > base.r_up
+    weak_n = corner_sample(TECH, GlobalCorner("x", 0.06, 0.0))
+    assert drv.launch(weak_n, "d0", 0.0).r_down > base.r_down
+
+
+def test_driver_gate_capacitances_positive(nominal):
+    assert NMOSDriver().gate_capacitance(nominal) > 0
+    assert InverterDriver().gate_capacitance(nominal) > 0
+
+
+def test_invalid_driver_args(nominal):
+    with pytest.raises(ConfigurationError):
+        NMOSDriver(width_up=-1.0)
+    with pytest.raises(ConfigurationError):
+        InverterDriver(amplitude_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        NMOSDriver().launch(nominal, "d0", vref=0.0)
+
+
+# --- bias / swing references -----------------------------------------------------------
+
+
+def test_oguey_current_near_constant():
+    ref = OgueyCurrentReference()
+    tt = corner_sample(TECH, GlobalCorner("TT", 0.0, 0.0))
+    ss = corner_sample(TECH, GlobalCorner("SS", 0.09, 0.09))
+    i_tt, i_ss = ref.current(tt), ref.current(ss)
+    assert abs(i_ss - i_tt) / i_tt < 0.1  # threshold-free to first order
+
+
+def test_fixed_reference_is_constant(nominal):
+    ref = FixedSwingReference(0.70)
+    ss = corner_sample(TECH, GlobalCorner("SS", 0.09, 0.09))
+    assert ref.vref(nominal) == ref.vref(ss) == pytest.approx(0.70)
+    assert ref.power == 0.0
+
+
+def test_adaptive_reference_tracks_m1_threshold(nominal):
+    ref = adaptive_for_amplitude(TECH, 0.40)
+    v_tt = ref.vref(nominal)
+    weak = corner_sample(TECH, GlobalCorner("SS", 0.05, 0.0))
+    strong = corner_sample(TECH, GlobalCorner("FF", -0.05, 0.0))
+    assert ref.vref(weak) > v_tt  # boost swing at weak corner
+    assert ref.vref(strong) <= v_tt  # trim at strong corner...
+    assert ref.vref(strong) >= v_tt - ref.trim_limit - 1e-12  # ...but bounded
+
+
+def test_adaptive_reference_delivers_target_at_tt(nominal):
+    amplitude = 0.42
+    ref = adaptive_for_amplitude(TECH, amplitude)
+    drv = NMOSDriver()
+    launch = drv.launch(nominal, "d0", ref.vref(nominal))
+    assert launch.amplitude == pytest.approx(amplitude, abs=1e-6)
+
+
+def test_adaptive_reference_power_is_paper_value():
+    ref = adaptive_for_amplitude(TECH, 0.40)
+    assert ref.power == pytest.approx(587 * UW)
+    assert BIAS_GENERATOR_POWER == pytest.approx(587e-6)
+
+
+def test_fixed_for_amplitude_matches_nmos_clamp(nominal):
+    ref = fixed_for_amplitude(TECH, 0.38)
+    launch = NMOSDriver().launch(nominal, "d0", ref.vref(nominal))
+    assert launch.amplitude == pytest.approx(0.38, abs=1e-6)
+
+
+def test_invalid_swing_targets():
+    with pytest.raises(ConfigurationError):
+        fixed_for_amplitude(TECH, -0.1)
+    with pytest.raises(ConfigurationError):
+        adaptive_for_amplitude(TECH, 0.0)
+    with pytest.raises(ConfigurationError):
+        FixedSwingReference(0.0)
+    with pytest.raises(ConfigurationError):
+        AdaptiveSwingReference(overdrive=0.1, gain=-1.0)

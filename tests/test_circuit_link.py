@@ -1,0 +1,165 @@
+"""The 10-stage SRLR link: propagation, transmission, energy."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.circuit import SRLRLink, robust_design
+from repro.circuit.prbs import PrbsGenerator
+from repro.tech import GlobalCorner, corner_sample, tech_45nm_soi
+from repro.units import FJ, GBPS, PS
+
+TECH = tech_45nm_soi()
+T_BIT = 1.0 / 4.1e9
+
+
+def test_pulse_propagates_through_all_stages(robust_link):
+    records = robust_link.propagate_pulse()
+    assert len(records) == 10
+    assert all(r.fired for r in records)
+
+
+def test_swing_stays_low_along_link(robust_link):
+    records = robust_link.propagate_pulse()
+    for r in records:
+        assert 0.1 < r.in_swing < 0.5  # genuinely low-swing vs 0.8 V rail
+
+
+def test_latency_scales_with_length(robust_link):
+    lat10 = robust_link.latency()
+    short = SRLRLink(robust_design(n_stages=5))
+    assert lat10 > short.latency() > 0
+    # ~200 ps/mm: between one and four wire time constants per segment.
+    assert 1000 * PS < lat10 < 4000 * PS
+
+
+def test_transmit_error_free_at_41g(robust_link, stress_pattern):
+    result = robust_link.transmit(stress_pattern, T_BIT)
+    assert result.ok
+    assert result.received == stress_pattern
+    assert not result.stuck
+
+
+def test_transmit_all_taps_agree_when_clean(robust_link, stress_pattern):
+    result = robust_link.transmit(stress_pattern, T_BIT)
+    # Multicast-for-free: every intermediate tap carries the same bits.
+    for tap in result.tap_bits:
+        assert tap == stress_pattern
+
+
+def test_transmit_fails_when_overclocked(robust_link, stress_pattern):
+    result = robust_link.transmit(stress_pattern, 1.0 / 9e9)
+    assert result.n_errors > 0
+    # Both overspeed mechanisms are real: dropped 1s (reset dead time)
+    # and spurious 1s (residual ISI at the shrunken unit interval).
+    drops = sum(1 for s, g in zip(result.sent, result.received) if s == 1 and g == 0)
+    assert drops > 0
+
+
+def test_max_data_rate_bracket(robust_link, stress_pattern):
+    rate = robust_link.max_data_rate(stress_pattern)
+    assert 4.1 * GBPS <= rate <= 6.0 * GBPS
+    assert robust_link.transmit(stress_pattern, 1.0 / rate).ok
+
+
+def test_max_data_rate_zero_for_broken_link(stress_pattern):
+    broken = dataclasses.replace(robust_design(), m2_vth_offset=0.25)
+    link = SRLRLink(broken)
+    assert link.max_data_rate(stress_pattern) == 0.0
+
+
+def test_stuck_link_reads_all_ones(stress_pattern):
+    broken = dataclasses.replace(robust_design(), m2_vth_offset=0.25)
+    link = SRLRLink(broken)
+    result = link.transmit(stress_pattern, T_BIT)
+    assert result.stuck
+    assert all(b == 1 for b in result.received)
+    assert not result.ok
+
+
+def test_energy_breakdown_structure(robust_link):
+    e = robust_link.energy_per_pulse()
+    assert set(e) == {"wire", "internal", "total"}
+    assert e["total"] == pytest.approx(e["wire"] + e["internal"])
+    assert e["wire"] > e["internal"] > 0  # wire-dominated, as the paper argues
+
+
+def test_energy_headline_ballpark(robust_link):
+    # 0.5 activity * total / 10 mm should land near 40.4 fJ/bit/mm.
+    per_bit_mm = 0.5 * robust_link.energy_per_pulse()["total"] / FJ / 10
+    assert 30 < per_bit_mm < 50
+
+
+def test_transmit_energy_tracks_ones_density(robust_link):
+    sparse = robust_link.transmit([1] + [0] * 31, T_BIT)
+    dense = robust_link.transmit([1, 0] * 16, T_BIT)
+    assert dense.energy > 2 * sparse.energy
+    assert sparse.energy > 0
+
+
+def test_transmit_zero_pattern_costs_nothing(robust_link):
+    result = robust_link.transmit([0] * 16, T_BIT)
+    assert result.ok
+    assert result.energy == 0.0
+
+
+def test_noise_causes_errors_near_the_floor(stress_pattern):
+    # Crank noise far above margin: errors must appear.
+    link = SRLRLink(robust_design())
+    noisy = link.transmit(stress_pattern, T_BIT, noise_sigma=0.15,
+                          rng=np.random.default_rng(1))
+    assert noisy.n_errors > 0
+
+
+def test_noise_reproducible_with_seeded_rng(robust_link, stress_pattern):
+    r1 = robust_link.transmit(stress_pattern, T_BIT, noise_sigma=0.02,
+                              rng=np.random.default_rng(5))
+    r2 = robust_link.transmit(stress_pattern, T_BIT, noise_sigma=0.02,
+                              rng=np.random.default_rng(5))
+    assert r1.received == r2.received
+
+
+def test_weak_global_corner_breaks_fixed_reference_link(stress_pattern):
+    from repro.circuit.bias import fixed_for_amplitude
+    from repro.circuit.srlr import _nmos_amplitude_for_swing
+    from repro.circuit import NMOSDriver
+
+    amp = _nmos_amplitude_for_swing(TECH, 0.30, NMOSDriver(), 1e-3)
+    fixed = dataclasses.replace(
+        robust_design(), swing_reference=fixed_for_amplitude(TECH, amp)
+    )
+    weak = corner_sample(TECH, GlobalCorner("W", 0.05, 0.05))
+    result = SRLRLink(fixed, weak).transmit(stress_pattern, T_BIT)
+    assert result.n_errors > 0  # uncompensated weak corner fails...
+    robust_result = SRLRLink(robust_design(), weak).transmit(stress_pattern, T_BIT)
+    assert robust_result.n_errors <= result.n_errors  # ...adaptive helps
+
+
+def test_transmit_validation(robust_link):
+    with pytest.raises(ConfigurationError):
+        robust_link.transmit([0, 1], 0.0)
+    with pytest.raises(ConfigurationError):
+        robust_link.transmit([0, 2], T_BIT)
+    with pytest.raises(ConfigurationError):
+        robust_link.transmit([0, 1], T_BIT, noise_sigma=-1.0)
+    with pytest.raises(ConfigurationError):
+        robust_link.max_data_rate([1, 0], rate_lo=2e9, rate_hi=1e9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(bits=st.lists(st.integers(0, 1), min_size=4, max_size=40))
+def test_transmit_roundtrip_property(robust_link, bits):
+    """Any pattern transmits error-free at the rated speed at TT."""
+    result = robust_link.transmit(bits, T_BIT)
+    assert result.received == bits
+
+
+def test_prbs15_long_run_error_free(robust_link):
+    bits = PrbsGenerator(15).bits(2000)
+    assert robust_link.transmit(bits, T_BIT).ok

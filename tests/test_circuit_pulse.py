@@ -1,0 +1,92 @@
+"""Pulse representation, modulator and demodulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.circuit import Demodulator, Pulse, PulseModulator, PulseTrain
+from repro.units import PS
+
+BIT_PERIOD = 1.0 / 4.1e9
+
+
+def test_pulse_basic_geometry():
+    p = Pulse(1e-9, 100 * PS, 0.4)
+    assert p.t_end == pytest.approx(1e-9 + 100 * PS)
+    d = p.delayed(50 * PS)
+    assert d.t_start == pytest.approx(1e-9 + 50 * PS)
+    assert d.width == p.width
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"t_start": 0.0, "width": 0.0, "amplitude": 0.4},
+    {"t_start": 0.0, "width": 1e-10, "amplitude": -0.1},
+])
+def test_invalid_pulse_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        Pulse(**kwargs)
+
+
+def test_train_enforces_ordering():
+    train = PulseTrain()
+    train.append(Pulse(0.0, 100 * PS, 0.4))
+    with pytest.raises(ConfigurationError):
+        train.append(Pulse(50 * PS, 100 * PS, 0.4))  # overlaps
+    train.append(Pulse(200 * PS, 50 * PS, 0.4))
+    assert len(train) == 2
+
+
+def test_modulator_one_pulse_per_one():
+    pm = PulseModulator(BIT_PERIOD, 150 * PS, 0.45)
+    train = pm.modulate([1, 0, 1, 1, 0])
+    assert len(train) == 3
+    starts = [p.t_start for p in train]
+    assert starts == pytest.approx([0.0, 2 * BIT_PERIOD, 3 * BIT_PERIOD])
+
+
+def test_modulator_rejects_wide_pulse():
+    with pytest.raises(ConfigurationError):
+        PulseModulator(BIT_PERIOD, 2 * BIT_PERIOD, 0.45)
+
+
+def test_modulator_rejects_bad_bits():
+    pm = PulseModulator(BIT_PERIOD, 150 * PS, 0.45)
+    with pytest.raises(ConfigurationError):
+        pm.modulate([0, 2, 1])
+
+
+def test_demodulator_roundtrip():
+    pm = PulseModulator(BIT_PERIOD, 150 * PS, 0.45)
+    dm = Demodulator(BIT_PERIOD, 8)
+    bits = [1, 0, 1, 1, 0, 0, 1, 0]
+    assert dm.demodulate(pm.modulate(bits)) == bits
+
+
+def test_demodulator_removes_latency():
+    pm = PulseModulator(BIT_PERIOD, 150 * PS, 0.45)
+    dm = Demodulator(BIT_PERIOD, 4)
+    bits = [1, 0, 0, 1]
+    train = pm.modulate(bits)
+    delayed = PulseTrain([p.delayed(2e-9) for p in train])
+    assert dm.demodulate(delayed, latency=2e-9) == bits
+
+
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=64))
+def test_roundtrip_property(bits):
+    pm = PulseModulator(BIT_PERIOD, 100 * PS, 0.4)
+    dm = Demodulator(BIT_PERIOD, len(bits))
+    assert dm.demodulate(pm.modulate(bits)) == bits
+
+
+@given(
+    bits=st.lists(st.integers(0, 1), min_size=1, max_size=32),
+    latency=st.floats(0.0, 5e-9),
+)
+def test_roundtrip_with_latency_property(bits, latency):
+    pm = PulseModulator(BIT_PERIOD, 100 * PS, 0.4)
+    dm = Demodulator(BIT_PERIOD, len(bits))
+    shifted = PulseTrain([p.delayed(latency) for p in pm.modulate(bits)])
+    assert dm.demodulate(shifted, latency=latency) == bits

@@ -1,0 +1,118 @@
+"""Sizing methodology and Fig. 4 waveform reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.circuit import (
+    SRLRLink,
+    robust_design,
+    sensitivity_vs_m1_m2_ratio,
+    stage_waveforms,
+    sweep_segment_length,
+    sweep_swing_energy,
+    waveform_table,
+)
+from repro.units import MM, PS, UM
+
+
+# --- sizing -----------------------------------------------------------------------------
+
+
+def test_bigger_m1_senses_smaller_swings():
+    points = sensitivity_vs_m1_m2_ratio([2 * UM, 4 * UM, 8 * UM])
+    floors = [p.min_swing for p in points]
+    assert floors[0] > floors[1] > floors[2]
+    ratios = [p.current_ratio for p in points]
+    assert ratios[0] < ratios[1] < ratios[2]
+
+
+def test_segment_length_sweet_spot():
+    points = sweep_segment_length([0.5 * MM, 1.0 * MM, 2.5 * MM])
+    by_length = {round(p.segment_length / MM, 1): p for p in points}
+    assert by_length[1.0].ok  # the paper's operating point works
+    # Longer insertion attenuates below the target; the design factory
+    # either fails outright or the link breaks.
+    assert not by_length[2.5].ok
+    # Short segments work but waste repeater energy per mm.
+    if by_length[0.5].ok:
+        assert (
+            by_length[0.5].energy_per_bit_per_mm
+            > by_length[1.0].energy_per_bit_per_mm
+        )
+
+
+def test_swing_energy_tradeoff_monotone():
+    points = sweep_swing_energy([0.27, 0.30, 0.33])
+    energies = [p.energy_per_bit_per_mm for p in points]
+    margins = [p.margin for p in points]
+    assert energies == sorted(energies)  # more swing, more energy
+    assert margins == sorted(margins)  # more swing, more margin
+
+
+def test_sizing_validation():
+    with pytest.raises(ConfigurationError):
+        sensitivity_vs_m1_m2_ratio([-1.0])
+    with pytest.raises(ConfigurationError):
+        sweep_segment_length([0.0])
+
+
+# --- waveforms --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def waveform(robust_link):
+    return stage_waveforms(robust_link, stage_index=3)
+
+
+def test_waveform_shapes_consistent(waveform):
+    n = len(waveform.times)
+    assert waveform.v_in.shape == waveform.v_x.shape == waveform.v_out.shape == (n,)
+
+
+def test_input_is_low_swing(waveform):
+    assert 0.15 < waveform.v_in.max() < 0.5
+
+
+def test_output_is_full_swing(waveform, tech):
+    assert waveform.v_out.max() == pytest.approx(tech.vdd, rel=1e-6)
+    assert waveform.v_out[0] == 0.0
+    assert waveform.v_out[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_node_x_dips_below_threshold_and_recovers(waveform, robust_link):
+    stage = robust_link.stages[3]
+    assert waveform.v_x[0] == pytest.approx(stage.v_standby)
+    assert waveform.v_x.min() < stage.v_threshold
+    assert waveform.v_x[-1] == pytest.approx(stage.v_standby)
+
+
+def test_out_rises_after_x_crosses(waveform, robust_link):
+    stage = robust_link.stages[3]
+    i_out = int(np.argmax(waveform.v_out > 0.4))
+    i_x = int(np.argmax(waveform.v_x < stage.v_threshold))
+    assert i_out >= i_x
+
+
+def test_waveform_table_rows(waveform):
+    rows = waveform_table(waveform, 16)
+    assert len(rows) == 16
+    assert rows[0][0] == pytest.approx(0.0)
+    with pytest.raises(ConfigurationError):
+        waveform_table(waveform, 1)
+
+
+def test_waveform_stage_bounds(robust_link):
+    with pytest.raises(ConfigurationError):
+        stage_waveforms(robust_link, stage_index=99)
+
+
+def test_waveform_of_dead_link_raises():
+    import dataclasses
+
+    dead = dataclasses.replace(robust_design(), m1_vth_offset=+0.3)
+    link = SRLRLink(dead)
+    with pytest.raises(SimulationError):
+        stage_waveforms(link, 0)

@@ -1,0 +1,56 @@
+"""Error-structure statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mc import burst_lengths, collect_error_stats, compare_error_structure
+
+
+def test_burst_grouping_basic():
+    assert burst_lengths([]) == []
+    assert burst_lengths([5]) == [1]
+    assert burst_lengths([5, 6, 7, 20, 21, 40]) == [3, 2, 1]
+
+
+def test_burst_gap_parameter():
+    positions = [0, 2, 4, 10]
+    assert burst_lengths(positions, gap=1) == [1, 1, 1, 1]
+    assert burst_lengths(positions, gap=2) == [3, 1]
+    with pytest.raises(ConfigurationError):
+        burst_lengths(positions, gap=0)
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=0, max_size=100))
+def test_burst_lengths_conserve_errors(positions):
+    bursts = burst_lengths(list(set(positions)))
+    assert sum(bursts) == len(set(positions))
+
+
+def test_clean_link_has_no_errors(robust_link):
+    stats = collect_error_stats(
+        robust_link, 1.0 / 4.1e9, n_bits=4096, noise_sigma=0.002
+    )
+    assert stats.errors == 0
+    assert stats.n_bursts == 0
+    assert stats.isolated_fraction == 1.0
+    assert not stats.bursty
+
+
+def test_noise_regime_clusters_overspeed_does_not(robust_link):
+    regimes = compare_error_structure(robust_link, n_bits=6144)
+    noise, overspeed = regimes["noise"], regimes["overspeed"]
+    assert noise.errors > 0 and overspeed.errors > 0
+    # The residual-baseline coupling clusters noise errors...
+    assert noise.mean_burst > 1.1
+    # ...while overspeed drops are isolated (reset-period spaced).
+    assert overspeed.max_burst <= 2
+    assert overspeed.isolated_fraction > 0.9
+
+
+def test_collect_validation(robust_link):
+    with pytest.raises(ConfigurationError):
+        collect_error_stats(robust_link, 1.0 / 4.1e9, n_bits=4, chunk=512)

@@ -1,0 +1,72 @@
+"""Fast shape checks for the extension experiment drivers (E16-E22).
+
+The benchmarks exercise these at full size; these tests pin the same
+qualitative claims at smaller parameters so plain ``pytest tests/``
+covers every experiment driver end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    e16_bypass,
+    e17_bus,
+    e18_temperature,
+    e19_system_studies,
+    e20_routing,
+    e21_tech_scaling,
+    e22_equalized_baseline,
+)
+
+
+def test_e16_bypass_shape():
+    result = e16_bypass(rates=(0.05,), measure=150)
+    run = result.data["runs"][0]
+    assert run["latency_bypass"] < run["latency_base"]
+    assert run["buffer_energy_bypass"] <= run["buffer_energy_base"]
+    assert "E16" in result.text
+
+
+def test_e17_bus_shape():
+    result = e17_bus(n_bits=4, n_runs=15, n_words=16)
+    assert result.data["tt"].ok
+    report = result.data["yield"]
+    assert report.bus_failure_probability <= report.independence_prediction + 1e-9
+
+
+def test_e18_temperature_shape():
+    result = e18_temperature(temps_c=(0.0, 25.0, 85.0))
+    points = {p["temp_c"]: p for p in result.data["points"]}
+    assert points[25.0]["adaptive_ok"]
+    for p in result.data["points"]:
+        assert p["adaptive_errors"] <= p["fixed_errors"]
+
+
+def test_e19_system_studies_shape():
+    result = e19_system_studies(k=6)
+    assert result.data["chip"].noc_power_reduction > 0.2
+    assert result.data["crossover_locality"] < 0.5
+    assert result.data["max_ratio"] == 4
+
+
+def test_e20_routing_shape():
+    result = e20_routing(k=4, rates=(0.3,), n_vcs=8, measure=200)
+    run = result.data["runs"][0]
+    assert run["o1turn"].average_latency < run["xy"].average_latency * 1.5
+    assert run["o1turn"].delivered_count > 0
+
+
+def test_e21_tech_scaling_shape():
+    result = e21_tech_scaling()
+    shares = [p["fs_datapath_share"] for p in result.data["points"]]
+    assert shares == sorted(shares)
+    assert shares[-1] > shares[0] + 0.2
+
+
+def test_e22_equalized_shape():
+    result = e22_equalized_baseline()
+    rates = [p["rate"] for p in result.data["points"]]
+    assert rates == sorted(rates)
+    assert result.data["srlr_rate"] > 3 * max(rates)
+    assert result.data["srlr_energy"] < min(p["energy"] for p in result.data["points"])

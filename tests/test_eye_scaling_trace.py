@@ -1,0 +1,140 @@
+"""Eye analysis, Vdd scaling, trace traffic, calibration report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.circuit import eye_at_rate, eye_vs_rate
+from repro.energy import sweep_vdd
+from repro.noc import (
+    MeshTopology,
+    NocSimulator,
+    SyntheticTraffic,
+    TraceTraffic,
+    record_trace,
+)
+from repro.analysis import calibration_checks, calibration_report
+
+
+# --- eye --------------------------------------------------------------------------------
+
+
+def test_eye_open_at_rated_speed(robust_link):
+    eye = eye_at_rate(robust_link, 4.1e9, n_bits=256)
+    assert eye.open
+    assert eye.height > 0.1
+    assert eye.one_min > eye.sensitivity_floor > eye.zero_max
+    assert eye.ber_estimate() < 1e-9
+
+
+def test_eye_closes_in_time_at_overspeed(robust_link):
+    eye = eye_at_rate(robust_link, 6.5e9, n_bits=256)
+    assert eye.timing_margin < 0
+    assert not eye.open
+    assert eye.ber_estimate() == 0.5
+
+
+def test_eye_zero_level_grows_with_rate(robust_link):
+    reports = eye_vs_rate(robust_link, [3.0e9, 5.0e9], n_bits=256)
+    assert reports[1].zero_max > reports[0].zero_max  # ISI grows
+    assert reports[1].timing_margin < reports[0].timing_margin
+
+
+def test_eye_probe_stage_selection(robust_link):
+    first = eye_at_rate(robust_link, 4.1e9, stage_index=0, n_bits=128)
+    last = eye_at_rate(robust_link, 4.1e9, stage_index=9, n_bits=128)
+    assert first.stage_index == 0 and last.stage_index == 9
+    assert first.open and last.open
+
+
+def test_eye_validation(robust_link):
+    with pytest.raises(ConfigurationError):
+        eye_at_rate(robust_link, 0.0)
+    with pytest.raises(ConfigurationError):
+        eye_at_rate(robust_link, 4.1e9, n_bits=4)
+    with pytest.raises(ConfigurationError):
+        eye_vs_rate(robust_link, [])
+
+
+# --- vdd scaling ------------------------------------------------------------------------
+
+
+def test_vdd_sweep_shape():
+    points = sweep_vdd([0.7, 0.8, 0.9])
+    by_vdd = {p.vdd: p for p in points}
+    assert by_vdd[0.8].ok_at_4g1  # the paper's operating point
+    # Energy falls as the supply scales down (whenever the link works).
+    working = [p for p in points if p.max_data_rate > 0]
+    energies = [p.energy_fj_per_bit_per_mm for p in sorted(working, key=lambda p: p.vdd)]
+    assert energies == sorted(energies)
+    # Max rate improves (or holds) with supply.
+    rates = [p.max_data_rate for p in sorted(working, key=lambda p: p.vdd)]
+    assert rates == sorted(rates)
+
+
+def test_vdd_sweep_validation():
+    with pytest.raises(ConfigurationError):
+        sweep_vdd([])
+    with pytest.raises(ConfigurationError):
+        sweep_vdd([0.8], swing_fraction=1.5)
+
+
+# --- trace traffic ----------------------------------------------------------------------
+
+
+def test_record_and_replay_trace_deterministic():
+    topo = MeshTopology(4)
+    gen = SyntheticTraffic(topo, injection_rate=0.1, seed=23)
+    trace = record_trace(gen, 120)
+    assert trace.n_packets > 0
+
+    def run(traffic):
+        sim = NocSimulator(4, traffic=traffic)
+        return sim.run(warmup=0, measure=130)
+
+    a = run(TraceTraffic(topo, trace.entries))
+    b = run(TraceTraffic(topo, trace.entries))
+    assert a.delivered_count == b.delivered_count == trace.n_packets
+    assert a.average_latency == b.average_latency
+
+
+def test_trace_save_load_roundtrip(tmp_path):
+    topo = MeshTopology(4)
+    gen = SyntheticTraffic(topo, injection_rate=0.1, multicast_fraction=0.3, seed=2)
+    trace = record_trace(gen, 60)
+    path = tmp_path / "trace.json"
+    trace.save(path)
+    loaded = TraceTraffic.load(path)
+    assert loaded.n_packets == trace.n_packets
+    assert loaded.topology.k == 4
+    assert loaded.entries == trace.entries
+
+
+def test_trace_validation():
+    topo = MeshTopology(4)
+    from repro.noc.trace import TraceEntry
+
+    with pytest.raises(ConfigurationError):
+        TraceTraffic(topo, [TraceEntry(cycle=-1, src=(0, 0), dests=((1, 1),), size_flits=1)])
+    with pytest.raises(ConfigurationError):
+        TraceTraffic(topo, [TraceEntry(cycle=0, src=(9, 9), dests=((1, 1),), size_flits=1)])
+    gen = SyntheticTraffic(topo, 0.1)
+    with pytest.raises(ConfigurationError):
+        record_trace(gen, 0)
+
+
+# --- calibration ------------------------------------------------------------------------
+
+
+def test_calibration_checks_all_green():
+    checks = calibration_checks()
+    for check in checks:
+        assert check.ok, f"{check.name}={check.value} outside [{check.lo},{check.hi}]"
+
+
+def test_calibration_report_renders():
+    text = calibration_report()
+    assert "Calibration anchors" in text
+    assert "Live drift check" in text
+    assert "emergent" in text

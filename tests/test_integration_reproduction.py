@@ -1,0 +1,112 @@
+"""Integration: the paper's headline claims end to end.
+
+These are the reproduction acceptance tests: each asserts one of the
+paper's reported results within the tolerance appropriate for a
+behavioral model (shapes and factors, not silicon-exact numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import SRLRLink, robust_design
+from repro.energy import (
+    RouterPowerModel,
+    bias_overhead,
+    full_swing_link_energy,
+    srlr_link_energy,
+)
+from repro.mc import (
+    default_stress_pattern,
+    immunity_ratio,
+    measure_ber,
+    run_monte_carlo,
+)
+from repro.mc.yield_analysis import design_variants
+from repro.noc import NocSimulator, price_stats
+from repro.units import GBPS, MW
+
+
+pytestmark = pytest.mark.integration
+
+
+def test_headline_40fj_per_bit_per_mm():
+    report = srlr_link_energy()
+    assert report.fj_per_bit_per_mm == pytest.approx(40.4, rel=0.12)
+
+
+def test_headline_link_power_1_66mw():
+    report = srlr_link_energy()
+    assert report.power / MW == pytest.approx(1.66, rel=0.12)
+
+
+def test_headline_bandwidth_density_exact():
+    report = srlr_link_energy()
+    assert report.bandwidth_density_gbps_per_um == pytest.approx(6.83, rel=1e-3)
+
+
+def test_headline_max_data_rate_band(robust_link, stress_pattern):
+    rate = robust_link.max_data_rate(stress_pattern)
+    # The behavioral link tops out in the same band as the 4.1 Gb/s chip.
+    assert 4.1 <= rate / GBPS <= 5.5
+
+
+def test_headline_ber_clean_at_rated_speed(robust_link):
+    m = measure_ber(robust_link, 1.0 / 4.1e9, n_bits=20_000, noise_sigma=0.004)
+    assert m.errors == 0
+
+
+def test_low_swing_saves_versus_full_swing():
+    saving = (
+        full_swing_link_energy().fj_per_bit_per_mm
+        / srlr_link_energy().fj_per_bit_per_mm
+    )
+    assert saving > 2.0
+
+
+def test_monte_carlo_immunity_ratio_near_3_7():
+    variants = design_variants()
+    robust = run_monte_carlo(variants["robust"], n_runs=200)
+    straightforward = run_monte_carlo(variants["straightforward"], n_runs=200)
+    ratio = immunity_ratio(straightforward, robust)
+    # Paper: "about 3.7 times"; we accept the same order with margin.
+    assert 2.0 <= ratio <= 8.0
+    assert robust.error_probability < straightforward.error_probability
+
+
+def test_bias_share_0_6_percent():
+    assert bias_overhead(64).fraction == pytest.approx(0.006, abs=0.003)
+
+
+def test_router_power_split():
+    p = RouterPowerModel().power_breakdown(1.0, "srlr")
+    assert p.buffers / MW == pytest.approx(38.8, rel=0.1)
+    assert p.control / MW == pytest.approx(5.2, rel=0.1)
+    assert p.datapath / MW == pytest.approx(12.9, rel=0.1)
+
+
+def test_router_area_18_percent():
+    area = RouterPowerModel().area_breakdown()
+    assert area.datapath * 1e6 == pytest.approx(0.061, rel=0.02)
+    assert area.datapath_fraction == pytest.approx(0.18, abs=0.03)
+
+
+def test_srlr_datapath_saves_in_a_running_noc():
+    sim = NocSimulator(4, injection_rate=0.15, seed=17)
+    stats = sim.run(warmup=100, measure=300)
+    srlr = price_stats(stats, datapath="srlr")
+    fs = price_stats(stats, datapath="full_swing")
+    assert fs.datapath / srlr.datapath > 2.0
+    assert fs.total > srlr.total
+
+
+def test_ten_stage_link_matches_mesh_distances():
+    # The SRLR insertion length equals the router-to-router distance, so a
+    # 10 mm link is exactly 10 mesh hops worth of wire.
+    design = robust_design()
+    assert design.n_stages == 10
+    assert design.segment_length == pytest.approx(1e-3)
+    assert design.total_length == pytest.approx(10e-3)
+    link = SRLRLink(design)
+    records = link.propagate_pulse()
+    assert all(r.fired for r in records)

@@ -1,0 +1,167 @@
+"""Monte Carlo engine, yield analysis, and BER machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mc import (
+    ber_upper_bound,
+    ber_vs_rate,
+    default_stress_pattern,
+    design_variants,
+    immunity_ratio,
+    measure_ber,
+    q_factor_ber,
+    run_monte_carlo,
+    sweep_swing,
+)
+from repro.mc.engine import McResult, McRun
+
+
+def _fake_result(n_fail: int, n_total: int, design=None) -> McResult:
+    runs = [
+        McRun(seed=i, ok=(i >= n_fail), n_errors=0, stuck=False, dvth_n=0, dvth_p=0)
+        for i in range(n_total)
+    ]
+    return McResult(design=design, runs=runs)
+
+
+# --- engine ----------------------------------------------------------------------------
+
+
+def test_stress_pattern_contents():
+    pattern = default_stress_pattern()
+    assert set(pattern) <= {0, 1}
+    assert "11110" in "".join(map(str, pattern))
+
+
+def test_monte_carlo_reproducible(robust):
+    a = run_monte_carlo(robust, n_runs=20, base_seed=100)
+    b = run_monte_carlo(robust, n_runs=20, base_seed=100)
+    assert [r.ok for r in a.runs] == [r.ok for r in b.runs]
+    assert a.error_probability == b.error_probability
+
+
+def test_monte_carlo_failures_reproducible_by_seed(robust):
+    from repro.circuit import SRLRLink
+    from repro.tech import monte_carlo_sample
+
+    result = run_monte_carlo(robust, n_runs=60, base_seed=2013)
+    pattern = default_stress_pattern()
+    for seed in result.failure_seeds()[:2]:
+        sample = monte_carlo_sample(robust.tech, seed)
+        outcome = SRLRLink(robust, sample).transmit(pattern, 1.0 / 4.1e9)
+        assert not outcome.ok
+
+
+def test_global_only_mode_runs(robust):
+    result = run_monte_carlo(robust, n_runs=10, local_enabled=False)
+    assert result.n_runs == 10
+
+
+def test_immunity_ratio_math():
+    assert immunity_ratio(_fake_result(20, 100), _fake_result(5, 100)) == pytest.approx(4.0)
+    assert immunity_ratio(_fake_result(0, 100), _fake_result(0, 100)) == 1.0
+    assert immunity_ratio(_fake_result(0, 100), _fake_result(5, 100)) == 0.0
+    # Zero contender failures: lower-bound via half a pseudo-count.
+    assert immunity_ratio(_fake_result(10, 100), _fake_result(0, 100)) == pytest.approx(20.0)
+
+
+def test_run_monte_carlo_validation(robust):
+    with pytest.raises(ConfigurationError):
+        run_monte_carlo(robust, n_runs=0)
+    with pytest.raises(ConfigurationError):
+        run_monte_carlo(robust, bit_period=0.0)
+
+
+# --- yield analysis ---------------------------------------------------------------------
+
+
+def test_design_variants_cover_all_techniques():
+    variants = design_variants()
+    assert set(variants) == {
+        "robust",
+        "straightforward",
+        "no_alternating",
+        "no_adaptive",
+        "no_nmos_driver",
+    }
+    from repro.circuit import InverterDriver, NMOSDriver
+    from repro.circuit.bias import AdaptiveSwingReference, FixedSwingReference
+
+    assert isinstance(variants["robust"].driver, NMOSDriver)
+    assert isinstance(variants["robust"].swing_reference, AdaptiveSwingReference)
+    assert isinstance(variants["straightforward"].driver, InverterDriver)
+    assert isinstance(variants["no_adaptive"].swing_reference, FixedSwingReference)
+    assert len(variants["no_alternating"].delay_plan.cells) == 1
+
+
+def test_sweep_swing_shape_and_monotonicity():
+    sweep = sweep_swing([0.27, 0.33], n_runs=60)
+    assert sweep.swings == [0.27, 0.33]
+    assert set(sweep.variants()) == {"robust", "straightforward"}
+    # Higher swing cannot be less reliable (paired seeds).
+    assert sweep.series("robust")[1] <= sweep.series("robust")[0]
+
+
+def test_sweep_swing_validation():
+    with pytest.raises(ConfigurationError):
+        sweep_swing([])
+    with pytest.raises(ConfigurationError):
+        sweep_swing([0.3], variants=["nope"], n_runs=1)
+
+
+# --- BER --------------------------------------------------------------------------------
+
+
+def test_ber_upper_bound_zero_errors_rule():
+    # ~3/n at 95% for zero errors.
+    assert ber_upper_bound(0, 1000) == pytest.approx(3.0 / 1000, rel=0.05)
+
+
+def test_ber_upper_bound_monotone_in_errors():
+    b0 = ber_upper_bound(0, 1000)
+    b1 = ber_upper_bound(1, 1000)
+    b5 = ber_upper_bound(5, 1000)
+    assert b0 < b1 < b5
+
+
+def test_ber_upper_bound_validation():
+    with pytest.raises(ConfigurationError):
+        ber_upper_bound(0, 0)
+    with pytest.raises(ConfigurationError):
+        ber_upper_bound(5, 3)
+    with pytest.raises(ConfigurationError):
+        ber_upper_bound(0, 10, confidence=1.5)
+    assert ber_upper_bound(10, 10) == 1.0
+
+
+def test_measure_ber_clean_link(robust_link):
+    m = measure_ber(robust_link, 1.0 / 4.1e9, n_bits=4000, noise_sigma=0.003)
+    assert m.errors == 0
+    assert m.meets(1e-2)
+    assert not m.meets(1e-9)  # not enough bits to *prove* 1e-9
+
+
+def test_measure_ber_noisy_link(robust_link):
+    m = measure_ber(robust_link, 1.0 / 4.1e9, n_bits=3000, noise_sigma=0.12)
+    assert m.errors > 0
+    assert m.observed_ber > 0
+
+
+def test_ber_vs_rate_waterfall(robust_link):
+    points = ber_vs_rate(robust_link, [3.5e9, 8e9], n_bits=2000, noise_sigma=0.003)
+    low, high = points[0][1], points[1][1]
+    assert low.errors == 0
+    assert high.errors > 0
+
+
+def test_q_factor_values():
+    assert q_factor_ber(0.0, 0.01) == pytest.approx(0.5)
+    # Q = 6 -> ~1e-9: the textbook operating point for BER 1e-9 claims.
+    assert q_factor_ber(0.06, 0.01) == pytest.approx(1e-9, rel=0.5)
+    with pytest.raises(ConfigurationError):
+        q_factor_ber(0.05, 0.0)

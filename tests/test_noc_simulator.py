@@ -1,0 +1,252 @@
+"""End-to-end NoC simulation: delivery, ordering, flow control, multicast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc import (
+    MeshTopology,
+    NocConfig,
+    NocSimulator,
+    Packet,
+    SyntheticTraffic,
+    pattern_destination,
+    price_stats,
+)
+
+
+def make_sim(k=4, rate=0.05, pattern="uniform", seed=1, **cfg):
+    return NocSimulator(k, config=NocConfig(**cfg), injection_rate=rate,
+                        pattern=pattern, seed=seed)
+
+
+def drive_packets(sim, packets, cycles=200):
+    """Inject explicit packets (no random traffic) and run to drain."""
+    sim.traffic.injection_rate = 0.0
+    sim.stats.measure_start = 0
+    sim.stats.measure_end = cycles
+    for p in packets:
+        sim.nics[p.src].offer(p)
+    for _ in range(cycles):
+        sim.step()
+        if not sim._network_busy():
+            break
+    return sim.stats
+
+
+# --- basic deliveries --------------------------------------------------------------------
+
+
+def test_single_packet_delivered_with_correct_latency():
+    sim = make_sim(rate=0.0)
+    p = Packet(src=(0, 0), dests=frozenset({(3, 3)}), size_flits=1, inject_cycle=0)
+    stats = drive_packets(sim, [p])
+    assert stats.delivered_count == 1
+    d = stats.deliveries[0]
+    assert d.dest == (3, 3)
+    # 6 hops * (pipeline 2 + link 1) plus injection/ejection overhead.
+    assert 10 <= d.latency <= 40
+
+
+def test_neighbor_packet_faster_than_diagonal():
+    sim1 = make_sim(rate=0.0)
+    near = Packet(src=(0, 0), dests=frozenset({(1, 0)}), size_flits=1, inject_cycle=0)
+    lat_near = drive_packets(sim1, [near]).deliveries[0].latency
+    sim2 = make_sim(rate=0.0)
+    far = Packet(src=(0, 0), dests=frozenset({(3, 3)}), size_flits=1, inject_cycle=0)
+    lat_far = drive_packets(sim2, [far]).deliveries[0].latency
+    assert lat_near < lat_far
+
+
+def test_multi_flit_packet_delivered_once():
+    sim = make_sim(rate=0.0)
+    p = Packet(src=(1, 1), dests=frozenset({(2, 3)}), size_flits=5, inject_cycle=0)
+    stats = drive_packets(sim, [p])
+    assert stats.delivered_count == 1  # counted at tail
+    assert stats.injected_flits == 5
+    assert stats.ejections == 5  # every flit leaves through LOCAL
+
+
+def test_multicast_reaches_every_destination():
+    sim = make_sim(rate=0.0)
+    dests = frozenset({(3, 0), (0, 3), (3, 3)})
+    p = Packet(src=(0, 0), dests=dests, size_flits=1, inject_cycle=0)
+    stats = drive_packets(sim, [p])
+    assert stats.delivered_count == 3
+    assert {d.dest for d in stats.deliveries} == set(dests)
+
+
+def test_multicast_tree_uses_fewer_link_traversals():
+    dests = frozenset({(3, 0), (3, 1), (3, 2)})
+    sim_tree = make_sim(rate=0.0)
+    p = Packet(src=(0, 0), dests=dests, size_flits=1, inject_cycle=0)
+    tree_links = drive_packets(sim_tree, [p]).link_traversals
+    sim_uni = make_sim(rate=0.0)
+    unicasts = [
+        Packet(src=(0, 0), dests=frozenset({d}), size_flits=1, inject_cycle=0)
+        for d in dests
+    ]
+    uni_links = drive_packets(sim_uni, unicasts).link_traversals
+    assert tree_links < uni_links
+
+
+def test_taps_deliver_straight_through_multicasts():
+    dests = frozenset({(1, 0), (2, 0), (3, 0)})
+    p = Packet(src=(0, 0), dests=dests, size_flits=1, inject_cycle=0)
+    sim = make_sim(rate=0.0, enable_taps=True)
+    stats = drive_packets(sim, [p])
+    assert stats.delivered_count == 3
+    assert stats.tap_deliveries == 2  # (1,0) and (2,0) are on the way
+    # Without taps the same traffic needs more ejections.
+    sim2 = make_sim(rate=0.0, enable_taps=False)
+    p2 = Packet(src=(0, 0), dests=dests, size_flits=1, inject_cycle=0)
+    stats2 = drive_packets(sim2, [p2])
+    assert stats2.tap_deliveries == 0
+    assert stats2.ejections > stats.ejections
+
+
+# --- conservation and protocol invariants -------------------------------------------------
+
+
+def test_flit_conservation_under_random_traffic():
+    sim = make_sim(rate=0.12, seed=9)
+    stats = sim.run(warmup=100, measure=300)
+    # Every buffered flit is eventually read out; nothing is lost.
+    assert stats.buffer_writes == stats.buffer_reads
+    # Every packet reaches every destination it owes (single-dest here).
+    assert stats.delivered_count > 0
+
+
+def test_all_offered_packets_delivered_exactly_once():
+    sim = make_sim(rate=0.08, seed=4)
+    sim.run(warmup=50, measure=200)
+    delivered_ids = [d.packet_id for d in sim.stats.deliveries]
+    assert len(delivered_ids) == len(set(delivered_ids))  # no duplicates
+    assert len(delivered_ids) == sim.stats.injected_packets
+
+
+def test_credits_fully_restored_after_drain():
+    sim = make_sim(rate=0.1, seed=2)
+    sim.run(warmup=50, measure=200)
+    for router in sim.routers.values():
+        for out in router.outputs.values():
+            assert out.credits == [sim.config.vc_capacity] * sim.config.n_vcs
+            assert all(owner is None for owner in out.owner)
+    for nic in sim.nics.values():
+        assert nic.out.credits == [sim.config.vc_capacity] * sim.config.n_vcs
+
+
+def test_deterministic_given_seed():
+    a = make_sim(rate=0.1, seed=13).run(warmup=50, measure=150)
+    b = make_sim(rate=0.1, seed=13).run(warmup=50, measure=150)
+    assert a.delivered_count == b.delivered_count
+    assert a.average_latency == b.average_latency
+    assert a.link_traversals == b.link_traversals
+
+
+def test_latency_grows_with_load():
+    low = make_sim(rate=0.02, seed=6).run(warmup=100, measure=300)
+    high = make_sim(rate=0.35, seed=6).run(warmup=100, measure=300)
+    assert high.average_latency > low.average_latency
+    assert high.throughput(16) > low.throughput(16)
+
+
+def test_transpose_pattern_works():
+    sim = make_sim(rate=0.05, pattern="transpose", seed=8)
+    stats = sim.run(warmup=50, measure=200)
+    for d in stats.deliveries[:10]:
+        pass  # deliveries happened; pattern correctness tested below
+    assert stats.delivered_count > 0
+
+
+# --- traffic generator ---------------------------------------------------------------------
+
+
+def test_pattern_destinations():
+    assert pattern_destination("transpose", (1, 3), 4, None) == (3, 1)
+    assert pattern_destination("bit_complement", (0, 1), 4, None) == (3, 2)
+    assert pattern_destination("neighbor", (3, 2), 4, None) == (0, 2)
+    assert pattern_destination("hotspot", (0, 0), 4, None) == (2, 2)
+
+
+def test_pattern_never_self_addresses():
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    for pattern in ("uniform", "transpose", "bit_complement", "neighbor", "hotspot"):
+        for x in range(4):
+            for y in range(4):
+                dest = pattern_destination(pattern, (x, y), 4, rng)
+                assert dest != (x, y)
+
+
+def test_traffic_rate_statistics():
+    topo = MeshTopology(4)
+    traffic = SyntheticTraffic(topo, injection_rate=0.25, seed=3)
+    total = sum(len(traffic.packets_for_cycle(c)) for c in range(500))
+    expected = 0.25 * 16 * 500
+    assert total == pytest.approx(expected, rel=0.1)
+
+
+def test_traffic_multicast_fraction():
+    topo = MeshTopology(4)
+    traffic = SyntheticTraffic(
+        topo, injection_rate=0.5, multicast_fraction=0.5, multicast_degree=3, seed=3
+    )
+    packets = [p for c in range(200) for p in traffic.packets_for_cycle(c)]
+    mc = [p for p in packets if p.is_multicast]
+    assert 0.3 < len(mc) / len(packets) < 0.7
+    assert all(len(p.dests) == 3 for p in mc)
+
+
+def test_traffic_validation():
+    topo = MeshTopology(4)
+    with pytest.raises(ConfigurationError):
+        SyntheticTraffic(topo, injection_rate=1.5)
+    with pytest.raises(ConfigurationError):
+        SyntheticTraffic(topo, 0.1, pattern="tornado")
+    with pytest.raises(ConfigurationError):
+        SyntheticTraffic(topo, 0.1, multicast_degree=99, multicast_fraction=0.5)
+
+
+# --- energy pricing ---------------------------------------------------------------------
+
+
+def test_price_stats_components_positive():
+    sim = make_sim(rate=0.1, seed=5)
+    stats = sim.run(warmup=50, measure=200)
+    report = price_stats(stats, datapath="srlr")
+    assert report.buffers > 0
+    assert report.datapath > 0
+    assert report.total == pytest.approx(
+        report.buffers + report.control + report.datapath + report.taps
+    )
+    assert report.average_power > 0
+    assert report.energy_per_delivered_flit(stats.delivered_count) > 0
+
+
+def test_full_swing_pricing_costs_more():
+    sim = make_sim(rate=0.1, seed=5)
+    stats = sim.run(warmup=50, measure=200)
+    srlr = price_stats(stats, datapath="srlr")
+    fs = price_stats(stats, datapath="full_swing")
+    assert fs.datapath > 2 * srlr.datapath
+    assert fs.buffers == srlr.buffers
+
+
+def test_price_stats_validation():
+    sim = make_sim(rate=0.05, seed=5)
+    stats = sim.run(warmup=20, measure=100)
+    report = price_stats(stats)
+    with pytest.raises(ConfigurationError):
+        report.energy_per_delivered_flit(0)
+
+
+def test_simulator_validation():
+    with pytest.raises(ConfigurationError):
+        make_sim().run(warmup=-1, measure=100)
+    with pytest.raises(ConfigurationError):
+        topo = MeshTopology(8)
+        traffic = SyntheticTraffic(topo, 0.1)
+        NocSimulator(4, traffic=traffic)  # mismatched mesh size

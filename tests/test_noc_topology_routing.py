@@ -1,0 +1,173 @@
+"""Mesh topology and XY / multicast-tree routing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.noc import (
+    MeshTopology,
+    OPPOSITE,
+    Port,
+    multicast_tree_links,
+    route_ports,
+    tap_destinations,
+    unicast_path_hops,
+    xy_route,
+)
+from repro.noc.packet import Packet
+
+K = 4
+TOPO = MeshTopology(K)
+
+
+def _flit(src, dests):
+    return Packet(src=src, dests=frozenset(dests), size_flits=1, inject_cycle=0).flits()[0]
+
+
+nodes = st.tuples(st.integers(0, K - 1), st.integers(0, K - 1))
+
+
+# --- topology ---------------------------------------------------------------------------
+
+
+def test_mesh_counts():
+    assert TOPO.n_nodes == 16
+    assert len(TOPO.nodes()) == 16
+    # Directed links: 2 * 2 * k * (k-1).
+    assert len(TOPO.links()) == 2 * 2 * K * (K - 1)
+
+
+def test_neighbors_and_edges():
+    assert TOPO.neighbor((0, 0), Port.EAST) == (1, 0)
+    assert TOPO.neighbor((0, 0), Port.NORTH) == (0, 1)
+    assert TOPO.neighbor((0, 0), Port.WEST) is None
+    assert TOPO.neighbor((0, 0), Port.SOUTH) is None
+    assert TOPO.neighbor((K - 1, K - 1), Port.EAST) is None
+    assert TOPO.neighbor((1, 1), Port.LOCAL) is None
+
+
+def test_opposite_ports():
+    for port, opp in OPPOSITE.items():
+        assert OPPOSITE[opp] == port
+
+
+def test_hop_distance_is_manhattan():
+    assert TOPO.hop_distance((0, 0), (3, 2)) == 5
+    assert TOPO.hop_distance((2, 2), (2, 2)) == 0
+
+
+def test_invalid_mesh_and_nodes():
+    with pytest.raises(ConfigurationError):
+        MeshTopology(1)
+    with pytest.raises(ConfigurationError):
+        TOPO.neighbor((9, 9), Port.EAST)
+    with pytest.raises(ConfigurationError):
+        TOPO.hop_distance((0, 0), (9, 9))
+
+
+# --- XY routing ------------------------------------------------------------------------
+
+
+def test_xy_routes_x_first():
+    assert xy_route((0, 0), (2, 2)) == Port.EAST
+    assert xy_route((2, 0), (2, 2)) == Port.NORTH
+    assert xy_route((2, 2), (0, 2)) == Port.WEST
+    assert xy_route((2, 2), (2, 0)) == Port.SOUTH
+    assert xy_route((1, 1), (1, 1)) == Port.LOCAL
+
+
+@settings(max_examples=60)
+@given(src=nodes, dest=nodes)
+def test_xy_always_reaches_destination(src, dest):
+    node, hops = src, 0
+    while node != dest:
+        port = xy_route(node, dest)
+        node = TOPO.neighbor(node, port)
+        assert node is not None
+        hops += 1
+        assert hops <= 2 * K  # no loops
+    assert hops == TOPO.hop_distance(src, dest)
+
+
+def test_route_ports_partition():
+    flit = _flit((1, 1), {(3, 1), (0, 1), (1, 3)})
+    partition = route_ports(TOPO, (1, 1), flit)
+    assert partition[Port.EAST] == frozenset({(3, 1)})
+    assert partition[Port.WEST] == frozenset({(0, 1)})
+    assert partition[Port.NORTH] == frozenset({(1, 3)})
+
+
+def test_route_ports_includes_local():
+    flit = _flit((0, 0), {(1, 1), (2, 0)})
+    partition = route_ports(TOPO, (1, 1), flit)
+    assert Port.LOCAL in partition
+
+
+@settings(max_examples=40)
+@given(src=nodes, dest=nodes)
+def test_route_ports_covers_all_destinations(src, dest):
+    if src == dest:
+        return
+    flit = _flit(src, {dest})
+    partition = route_ports(TOPO, src, flit)
+    covered = frozenset().union(*partition.values())
+    assert covered == flit.dests
+
+
+def test_route_ports_rejects_outside_mesh():
+    flit = _flit((0, 0), {(9, 9)})
+    with pytest.raises(RoutingError):
+        route_ports(TOPO, (0, 0), flit)
+
+
+# --- multicast tree ---------------------------------------------------------------------
+
+
+def test_tree_matches_unicast_for_single_dest():
+    tree = multicast_tree_links(TOPO, (0, 0), frozenset({(2, 2)}))
+    assert len(tree) == unicast_path_hops(TOPO, (0, 0), (2, 2))
+
+
+def test_tree_shares_common_prefix():
+    dests = frozenset({(3, 0), (3, 1)})
+    tree = multicast_tree_links(TOPO, (0, 0), dests)
+    total_unicast = sum(unicast_path_hops(TOPO, (0, 0), d) for d in dests)
+    assert len(tree) == 4  # 3 east + 1 north
+    assert len(tree) < total_unicast  # 3 + 4 = 7 as unicasts
+
+
+@settings(max_examples=30)
+@given(
+    src=nodes,
+    dests=st.sets(nodes, min_size=1, max_size=6),
+)
+def test_tree_never_worse_than_unicasts(src, dests):
+    dests = frozenset(d for d in dests if d != src)
+    if not dests:
+        return
+    tree = multicast_tree_links(TOPO, src, dests)
+    total = sum(unicast_path_hops(TOPO, src, d) for d in dests)
+    longest = max(unicast_path_hops(TOPO, src, d) for d in dests)
+    assert longest <= len(tree) <= total
+
+
+def test_taps_on_a_straight_line():
+    # Destinations in a row: all but the last are straight-through taps.
+    dests = frozenset({(1, 0), (2, 0), (3, 0)})
+    taps = tap_destinations(TOPO, (0, 0), dests)
+    assert taps == frozenset({(1, 0), (2, 0)})
+
+
+def test_turn_point_is_not_a_tap():
+    # (2,0) is where the tree turns north: not a straight-through tap.
+    dests = frozenset({(2, 0), (2, 2)})
+    taps = tap_destinations(TOPO, (0, 0), dests)
+    assert (2, 0) not in taps
+
+
+def test_leaf_is_not_a_tap():
+    taps = tap_destinations(TOPO, (0, 0), frozenset({(3, 3)}))
+    assert taps == frozenset()

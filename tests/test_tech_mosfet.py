@@ -1,0 +1,118 @@
+"""Alpha-power-law MOSFET model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tech import Mosfet, nmos, pmos, tech_45nm_soi
+from repro.units import UM
+
+TECH = tech_45nm_soi()
+
+
+def test_off_device_conducts_nothing():
+    dev = nmos(TECH, 1.0)
+    assert dev.ids(vgs=0.0, vds=0.5) == 0.0
+    assert dev.ids(vgs=0.5, vds=0.0) == 0.0
+
+
+def test_subthreshold_current_is_exponential():
+    dev = nmos(TECH, 1.0)
+    n_vt = TECH.subthreshold_slope_n * 0.02585
+    i1 = dev.ids_sat(dev.vth - 0.10)
+    i2 = dev.ids_sat(dev.vth - 0.10 + n_vt)
+    assert i2 / i1 == pytest.approx(math.e, rel=0.01)
+
+
+def test_current_continuous_at_threshold():
+    dev = nmos(TECH, 1.0)
+    below = dev.ids_sat(dev.vth - 1e-6)
+    above = dev.ids_sat(dev.vth + 1e-6)
+    assert above / below == pytest.approx(1.0, rel=1e-3)
+
+
+def test_saturation_current_realistic_scale():
+    # ~0.1-0.3 mA/um at full overdrive for a 45 nm-class process.
+    dev = nmos(TECH, 1.0)
+    i_on = dev.ids_sat(TECH.vdd)
+    assert 50e-6 < i_on < 500e-6
+
+
+def test_pmos_weaker_than_nmos_at_equal_width():
+    n = nmos(TECH, 2.0)
+    p = pmos(TECH, 2.0)
+    assert p.ids_sat(TECH.vdd) < n.ids_sat(TECH.vdd)
+
+
+def test_triode_current_below_saturation():
+    dev = nmos(TECH, 1.0)
+    vgs = TECH.vdd
+    shallow = dev.ids(vgs, 0.05)
+    deep = dev.ids(vgs, TECH.vdd)
+    assert 0.0 < shallow < deep
+    assert deep == pytest.approx(dev.ids_sat(vgs))
+
+
+@given(
+    vgs=st.floats(0.05, 0.8),
+    width_um=st.floats(0.1, 20.0),
+)
+def test_current_monotone_in_vgs_and_width(vgs, width_um):
+    dev = nmos(TECH, width_um)
+    bigger = nmos(TECH, width_um * 2)
+    assert dev.ids_sat(vgs + 0.05) > dev.ids_sat(vgs)
+    assert bigger.ids_sat(vgs) == pytest.approx(2 * dev.ids_sat(vgs), rel=1e-9)
+
+
+@given(vds=st.floats(0.01, 0.8), vgs=st.floats(0.3, 0.8))
+def test_triode_current_monotone_in_vds(vds, vgs):
+    dev = nmos(TECH, 1.0)
+    assert dev.ids(vgs, vds) <= dev.ids(vgs, min(vds * 1.5, 2.0)) + 1e-18
+
+
+def test_r_on_decreases_with_width():
+    small = nmos(TECH, 1.0)
+    large = nmos(TECH, 4.0)
+    assert large.r_on() < small.r_on()
+
+
+def test_r_on_infinite_when_off():
+    dev = nmos(TECH, 1.0)
+    assert dev.r_on(vgs=0.0) == math.inf
+
+
+def test_gate_cap_scales_with_width():
+    assert nmos(TECH, 2.0).gate_cap == pytest.approx(2 * nmos(TECH, 1.0).gate_cap)
+
+
+def test_scaled_copy():
+    dev = nmos(TECH, 1.0)
+    double = dev.scaled(2.0)
+    assert double.width == pytest.approx(2 * UM)
+    with pytest.raises(ConfigurationError):
+        dev.scaled(0.0)
+
+
+def test_vth_shift_constructor():
+    lvt = nmos(TECH, 1.0, vth_shift=-0.08)
+    assert lvt.vth == pytest.approx(TECH.vth_n - 0.08)
+    assert lvt.ids_sat(0.3) > nmos(TECH, 1.0).ids_sat(0.3)
+
+
+@pytest.mark.parametrize("bad_kwargs", [
+    {"width": -1e-6, "vth": 0.3},
+    {"width": 1e-6, "vth": -0.1},
+])
+def test_invalid_device_rejected(bad_kwargs):
+    with pytest.raises(ConfigurationError):
+        Mosfet(TECH, polarity="n", **bad_kwargs)
+
+
+def test_invalid_polarity_rejected():
+    with pytest.raises(ConfigurationError):
+        Mosfet(TECH, 1e-6, 0.3, "x")

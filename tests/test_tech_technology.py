@@ -1,0 +1,68 @@
+"""Technology parameter bundles."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import Technology, tech_45nm_soi, tech_90nm_bulk
+from repro.units import MM, UM
+
+
+def test_paper_process_operates_at_0v8(tech):
+    assert tech.name == "45nm SOI CMOS"
+    assert tech.vdd == pytest.approx(0.8)
+
+
+def test_reference_pitch_matches_bandwidth_density(tech):
+    # 0.6 um pitch + 4.1 Gb/s -> the paper's 6.83 Gb/s/um.
+    assert tech.wire_ref_pitch == pytest.approx(0.6 * UM)
+
+
+def test_wire_capacitance_neighbor_accounting(tech):
+    c0 = tech.wire_c_total_per_m(0)
+    c1 = tech.wire_c_total_per_m(1)
+    c2 = tech.wire_c_total_per_m(2)
+    assert c0 == pytest.approx(tech.wire_c_ground_per_m)
+    assert c1 - c0 == pytest.approx(tech.wire_c_coupling_per_m)
+    assert c2 - c1 == pytest.approx(tech.wire_c_coupling_per_m)
+
+
+def test_invalid_neighbor_count_rejected(tech):
+    with pytest.raises(ConfigurationError):
+        tech.wire_c_total_per_m(3)
+
+
+def test_with_vdd_returns_scaled_copy(tech):
+    scaled = tech.with_vdd(1.0)
+    assert scaled.vdd == pytest.approx(1.0)
+    assert scaled.vth_n == tech.vth_n
+    assert tech.vdd == pytest.approx(0.8)  # original untouched
+
+
+def test_90nm_wires_do_not_shrink_capacitance(tech, tech90):
+    # Table I footnote: scaling does not reduce wire cap per length much.
+    c45 = tech.wire_c_total_per_m()
+    c90 = tech90.wire_c_total_per_m()
+    assert 0.5 < c45 / c90 < 2.0
+
+
+def test_vth_must_be_below_vdd():
+    base = tech_45nm_soi()
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(base, vth_n=0.9)
+
+
+@pytest.mark.parametrize("field", ["vdd", "k_drive", "wire_r_per_m", "avt_mismatch"])
+def test_positive_parameters_enforced(field):
+    base = tech_45nm_soi()
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(base, **{field: -1.0})
+
+
+def test_technology_is_hashable_for_caching(tech):
+    # The attenuation-table cache keys on the Technology object.
+    assert hash(tech) == hash(tech_45nm_soi())
+    assert tech == tech_45nm_soi()

@@ -1,0 +1,56 @@
+"""Unit-conversion helpers: the paper's reporting units must be exact."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    FJ,
+    GBPS,
+    MM,
+    UM,
+    fj_per_bit_per_cm,
+    fj_per_bit_per_mm,
+    gbps_per_um,
+)
+
+
+def test_fj_per_bit_per_mm_headline_point():
+    # 404 fJ per bit over 10 mm is 40.4 fJ/bit/mm.
+    assert fj_per_bit_per_mm(404 * FJ, 10 * MM) == pytest.approx(40.4)
+
+
+def test_fj_per_bit_per_cm_is_ten_x_mm():
+    assert fj_per_bit_per_cm(404 * FJ, 10 * MM) == pytest.approx(404.0)
+
+
+def test_bandwidth_density_headline_point():
+    # 4.1 Gb/s over a 0.6 um pitch is the paper's 6.83 Gb/s/um.
+    assert gbps_per_um(4.1 * GBPS, 0.6 * UM) == pytest.approx(6.833, rel=1e-3)
+
+
+@given(
+    energy=st.floats(1e-18, 1e-9),
+    length=st.floats(1e-5, 1e-1),
+)
+def test_cm_mm_ratio_invariant(energy, length):
+    assert fj_per_bit_per_cm(energy, length) == pytest.approx(
+        10.0 * fj_per_bit_per_mm(energy, length), rel=1e-12
+    )
+
+
+@given(rate=st.floats(1e6, 1e12), pitch=st.floats(1e-8, 1e-5))
+def test_density_scales_inversely_with_pitch(rate, pitch):
+    d1 = gbps_per_um(rate, pitch)
+    d2 = gbps_per_um(rate, 2 * pitch)
+    assert d1 == pytest.approx(2 * d2, rel=1e-9)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1e-3])
+def test_nonpositive_lengths_rejected(bad):
+    with pytest.raises(ValueError):
+        fj_per_bit_per_mm(1e-15, bad)
+    with pytest.raises(ValueError):
+        gbps_per_um(1e9, bad)

@@ -1,0 +1,86 @@
+"""Coupled two-line model: crosstalk physics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wire import CoupledPair, CoupledSolver
+from repro.tech import tech_45nm_soi
+from repro.units import FF, MM, PS
+from repro.wire.rc import WireGeometry, WireSegment
+
+TECH = tech_45nm_soi()
+
+
+@pytest.fixture(scope="module")
+def pair(segment_1mm):
+    return CoupledPair(segment_1mm, r_victim=350.0, r_aggressor=350.0, c_load=10 * FF)
+
+
+def test_solver_rejects_bad_matrices():
+    with pytest.raises(ConfigurationError):
+        CoupledSolver(np.eye(2), np.array([[1.0, 0.5], [0.4, 1.0]]), np.eye(2))
+    with pytest.raises(ConfigurationError):
+        CoupledSolver(np.eye(3), np.eye(2), np.eye(2))
+
+
+def test_uncoupled_limit_matches_single_line(segment_1mm):
+    """With zero coupling capacitance, the victim sees zero noise."""
+    lonely = WireSegment(
+        TECH, WireGeometry.reference(TECH), 1 * MM, n_neighbors=0
+    )
+    # n_neighbors=0 zeroes c_coupling contribution? CoupledPair uses the
+    # segment's per-neighbor coupling directly, so build a variant tech
+    # through a huge spacing instead.
+    wide = WireSegment(TECH, WireGeometry(0.3e-6, 300e-6), 1 * MM)
+    pair = CoupledPair(wide, 350.0, 350.0, c_load=10 * FF)
+    noise = pair.victim_noise(150 * PS, 0.4)
+    assert noise < 0.002  # essentially decoupled
+
+
+def test_victim_noise_positive_and_below_aggressor(pair):
+    noise = pair.victim_noise(150 * PS, 0.4)
+    assert 0.0 < noise < 0.4
+
+
+def test_noise_scales_linearly_with_aggressor(pair):
+    n1 = pair.victim_noise(150 * PS, 0.2)
+    n2 = pair.victim_noise(150 * PS, 0.4)
+    assert n2 == pytest.approx(2 * n1, rel=1e-6)
+
+
+def test_tighter_spacing_more_noise(segment_1mm):
+    tight = WireSegment(TECH, WireGeometry(0.3e-6, 0.15e-6), 1 * MM)
+    pair_tight = CoupledPair(tight, 350.0, 350.0, c_load=10 * FF)
+    pair_ref = CoupledPair(segment_1mm, 350.0, 350.0, c_load=10 * FF)
+    assert pair_tight.victim_noise(150 * PS, 0.4) > pair_ref.victim_noise(
+        150 * PS, 0.4
+    )
+
+
+def test_dynamic_miller_effect(pair):
+    quiet = pair.victim_far_peak(150 * PS, 0.4, 0.0)
+    opposing = pair.victim_far_peak(150 * PS, 0.4, -0.4)
+    in_phase = pair.victim_far_peak(150 * PS, 0.4, 0.4)
+    assert opposing < quiet < in_phase
+
+
+def test_in_phase_switching_approaches_uncoupled(pair, segment_1mm):
+    """Neighbors moving together see no coupling current between them."""
+    from repro.wire import pulse_transfer
+
+    in_phase = pair.victim_far_peak(150 * PS, 0.4, 0.4)
+    # Reference: same line with coupling caps inactive (quiet = they
+    # still load; in-phase = they do not).  In-phase must exceed quiet.
+    quiet = pair.victim_far_peak(150 * PS, 0.4, 0.0)
+    assert in_phase > quiet
+
+
+def test_pair_validation(segment_1mm):
+    with pytest.raises(ConfigurationError):
+        CoupledPair(segment_1mm, r_victim=0.0, r_aggressor=100.0)
+    pair = CoupledPair(segment_1mm, 350.0, 350.0)
+    with pytest.raises(ConfigurationError):
+        pair.victim_noise(0.0, 0.4)

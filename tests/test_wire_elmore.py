@@ -1,0 +1,83 @@
+"""Elmore delay and full-swing repeater insertion (the baseline wire)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech import tech_45nm_soi
+from repro.units import MM
+from repro.wire import (
+    elmore_delay,
+    full_swing_energy_per_bit,
+    optimal_repeaters,
+    reference_segment,
+    repeated_wire_delay,
+    unit_inverter_c,
+    unit_inverter_r,
+)
+
+TECH = tech_45nm_soi()
+
+
+@pytest.fixture(scope="module")
+def wire_10mm():
+    return reference_segment(TECH, 10 * MM)
+
+
+def test_elmore_delay_components(segment_1mm):
+    base = elmore_delay(segment_1mm, r_drive=0.0, c_load=0.0)
+    assert base == pytest.approx(0.38 * segment_1mm.resistance * segment_1mm.capacitance)
+    driven = elmore_delay(segment_1mm, r_drive=500.0, c_load=0.0)
+    assert driven > base
+
+
+def test_elmore_negative_inputs_rejected(segment_1mm):
+    with pytest.raises(ConfigurationError):
+        elmore_delay(segment_1mm, r_drive=-1.0, c_load=0.0)
+
+
+def test_unit_inverter_values_physical():
+    r = unit_inverter_r(TECH)
+    c = unit_inverter_c(TECH)
+    assert 500.0 < r < 20000.0
+    assert 1e-15 < c < 20e-15
+
+
+def test_repeater_insertion_beats_unrepeated(wire_10mm):
+    unrepeated = repeated_wire_delay(wire_10mm, 1, 30.0)
+    design = optimal_repeaters(wire_10mm)
+    assert design.n_repeaters > 1
+    assert design.delay < unrepeated
+
+
+def test_optimal_near_local_minimum(wire_10mm):
+    design = optimal_repeaters(wire_10mm)
+    k = design.n_repeaters
+    h = design.size_factor
+    around = [
+        repeated_wire_delay(wire_10mm, max(1, k + dk), h)
+        for dk in (-max(1, k // 3), 0, max(1, k // 3))
+    ]
+    assert around[1] <= min(around[0], around[2]) * 1.05
+
+
+def test_full_swing_energy_exceeds_bare_wire(wire_10mm):
+    e = full_swing_energy_per_bit(wire_10mm)
+    bare = 0.5 * wire_10mm.capacitance * TECH.vdd**2
+    assert e > bare  # repeater capacitance adds on top
+
+
+def test_full_swing_energy_scales_with_activity(wire_10mm):
+    e_half = full_swing_energy_per_bit(wire_10mm, activity=0.5)
+    e_full = full_swing_energy_per_bit(wire_10mm, activity=1.0)
+    assert e_full == pytest.approx(2 * e_half)
+
+
+def test_invalid_repeater_args(wire_10mm):
+    with pytest.raises(ConfigurationError):
+        repeated_wire_delay(wire_10mm, 0, 10.0)
+    with pytest.raises(ConfigurationError):
+        repeated_wire_delay(wire_10mm, 2, 0.0)
+    with pytest.raises(ConfigurationError):
+        full_swing_energy_per_bit(wire_10mm, activity=1.5)

@@ -1,0 +1,83 @@
+"""Wire geometry and RC extraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tech import tech_45nm_soi
+from repro.units import MM, UM
+from repro.wire import WireGeometry, WireSegment, reference_segment
+
+TECH = tech_45nm_soi()
+
+
+def test_reference_segment_matches_technology(segment_1mm, tech):
+    assert segment_1mm.geometry.width == tech.wire_ref_width
+    assert segment_1mm.r_per_m == pytest.approx(tech.wire_r_per_m)
+    assert segment_1mm.c_total_per_m == pytest.approx(tech.wire_c_total_per_m())
+
+
+def test_resistance_scales_inversely_with_width():
+    narrow = WireSegment(TECH, WireGeometry(0.15 * UM, 0.3 * UM), 1 * MM)
+    wide = WireSegment(TECH, WireGeometry(0.6 * UM, 0.3 * UM), 1 * MM)
+    assert narrow.resistance == pytest.approx(4 * wide.resistance)
+
+
+def test_coupling_scales_inversely_with_space():
+    tight = WireSegment(TECH, WireGeometry(0.3 * UM, 0.15 * UM), 1 * MM)
+    loose = WireSegment(TECH, WireGeometry(0.3 * UM, 0.6 * UM), 1 * MM)
+    assert tight.c_coupling_per_m == pytest.approx(4 * loose.c_coupling_per_m)
+    assert tight.c_ground_per_m == pytest.approx(loose.c_ground_per_m)
+
+
+def test_totals_scale_linearly_with_length(segment_1mm):
+    double = segment_1mm.scaled_to_length(2 * MM)
+    assert double.resistance == pytest.approx(2 * segment_1mm.resistance)
+    assert double.capacitance == pytest.approx(2 * segment_1mm.capacitance)
+
+
+def test_distributed_time_constant(segment_1mm):
+    expected = 0.5 * segment_1mm.resistance * segment_1mm.capacitance
+    assert segment_1mm.rc_time_constant == pytest.approx(expected)
+
+
+def test_neighbor_count_changes_capacitance_only():
+    lonely = WireSegment(TECH, WireGeometry.reference(TECH), 1 * MM, n_neighbors=0)
+    crowded = WireSegment(TECH, WireGeometry.reference(TECH), 1 * MM, n_neighbors=2)
+    assert lonely.resistance == crowded.resistance
+    assert lonely.capacitance < crowded.capacitance
+
+
+def test_from_pitch_splits_width_and_space():
+    g = WireGeometry.from_pitch(0.6 * UM, width_fraction=0.5)
+    assert g.width == pytest.approx(0.3 * UM)
+    assert g.space == pytest.approx(0.3 * UM)
+    assert g.pitch == pytest.approx(0.6 * UM)
+
+
+@given(pitch=st.floats(1e-7, 1e-5), frac=st.floats(0.1, 0.9))
+def test_from_pitch_preserves_pitch(pitch, frac):
+    g = WireGeometry.from_pitch(pitch, frac)
+    assert g.pitch == pytest.approx(pitch, rel=1e-9)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"width": 0.0, "space": 0.3 * UM},
+        {"width": 0.3 * UM, "space": -1.0},
+    ],
+)
+def test_invalid_geometry_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        WireGeometry(**kwargs)
+
+
+def test_invalid_segment_rejected():
+    with pytest.raises(ConfigurationError):
+        WireSegment(TECH, WireGeometry.reference(TECH), 0.0)
+    with pytest.raises(ConfigurationError):
+        WireSegment(TECH, WireGeometry.reference(TECH), 1 * MM, n_neighbors=5)
