@@ -1,11 +1,15 @@
 """Run every experiment (E1-E22) and write the full report bundle.
 
-Run:  python scripts/run_all_experiments.py [--full] [outdir]
+Run:  python scripts/run_all_experiments.py [--full] [--jobs N]
+                                            [--cache[=DIR]] [outdir]
 
 The canonical "reproduce the paper" entry point: executes all experiment
 drivers, prints each report, and saves them under ``results/`` (one text
 file per experiment plus a combined REPORT.txt).  ``--full`` selects
-publication-fidelity sizes.
+publication-fidelity sizes.  ``--jobs N`` fans the Monte Carlo blocks
+(E4, E12) across N worker processes — results are identical for every N
+— and ``--cache`` reuses previously computed MC blocks from an on-disk
+content-addressed cache (default ``results/.mc-cache``).
 """
 
 from __future__ import annotations
@@ -40,22 +44,53 @@ from repro.analysis import (
     e21_tech_scaling,
     e22_equalized_baseline,
 )
+from repro.runtime import ResultCache, print_progress
 
 FULL = "--full" in sys.argv
 MC_RUNS = 1000 if FULL else 250
 SWINGS = (0.27, 0.285, 0.30, 0.315, 0.33) if FULL else (0.28, 0.30, 0.32)
 
 
+def _parse_args(argv: list[str]) -> tuple[Path, int, Path | None]:
+    """(outdir, n_jobs, cache_dir) from the command line."""
+    outdir = Path("results")
+    n_jobs = 1
+    cache_dir: Path | None = None
+    positional: list[str] = []
+    for arg in argv:
+        if arg == "--full":
+            continue
+        if arg.startswith("--jobs"):
+            value = arg.split("=", 1)[1] if "=" in arg else "0"
+            try:
+                n_jobs = int(value)
+            except ValueError:
+                raise SystemExit(f"--jobs expects an integer, got {value!r}")
+        elif arg.startswith("--cache"):
+            cache_dir = (
+                Path(arg.split("=", 1)[1]) if "=" in arg else Path("results/.mc-cache")
+            )
+        elif arg.startswith("--"):
+            raise SystemExit(f"unknown option {arg!r} (see module docstring)")
+        else:
+            positional.append(arg)
+    if positional:
+        outdir = Path(positional[0])
+    return outdir, n_jobs, cache_dir
+
+
 def main() -> None:
-    args = [a for a in sys.argv[1:] if not a.startswith("--")]
-    outdir = Path(args[0]) if args else Path("results")
+    outdir, n_jobs, cache_dir = _parse_args(sys.argv[1:])
     outdir.mkdir(exist_ok=True)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    progress = print_progress if n_jobs != 1 else None
+    mc_kwargs = {"n_jobs": n_jobs, "cache": cache, "progress": progress}
 
     runs = [
         lambda: e1_fig4_waveforms(),
         lambda: e2_pulse_width_dynamics(),
         lambda: e3_driver_modes(),
-        lambda: e4_fig6_montecarlo(swings=SWINGS, n_runs=MC_RUNS),
+        lambda: e4_fig6_montecarlo(swings=SWINGS, n_runs=MC_RUNS, **mc_kwargs),
         lambda: e5_headline(),
         lambda: e6_fig8_energy_density(),
         lambda: e7_table1(),
@@ -64,7 +99,7 @@ def main() -> None:
         lambda: e10_noc_breakdown(),
         lambda: e11_multicast(),
         lambda: e11_multicast_simulated(),
-        lambda: e12_ablation(n_runs=MC_RUNS),
+        lambda: e12_ablation(n_runs=MC_RUNS, **mc_kwargs),
         lambda: e13_sizing(),
         lambda: e14_noc_traffic(),
         lambda: e15_crosstalk(),
@@ -77,6 +112,7 @@ def main() -> None:
         lambda: e22_equalized_baseline(),
     ]
 
+    t_start = time.time()
     combined: list[str] = []
     for run in runs:
         t0 = time.time()
@@ -92,7 +128,10 @@ def main() -> None:
     calibration = calibration_report()
     combined.append("=== calibration ===\n" + calibration + "\n")
     (outdir / "REPORT.txt").write_text("\n".join(combined))
-    print(f"wrote {len(runs) + 1} reports under {outdir}/")
+    print(f"wrote {len(runs) + 1} reports under {outdir}/ "
+          f"in {time.time() - t_start:.1f}s (jobs={n_jobs})")
+    if cache is not None:
+        print(cache.summary())
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.runtime import ParallelExecutor, ProgressHook
 
 
 @dataclass(frozen=True)
@@ -39,18 +40,27 @@ def sweep(
     parameter: str,
     values: Sequence[float],
     evaluate: Callable[[float], dict[str, float]],
+    n_jobs: int | None = 1,
+    executor: ParallelExecutor | None = None,
+    progress: ProgressHook | None = None,
 ) -> SweepResult:
     """Evaluate ``evaluate`` at each value; collect named metrics.
 
     Every call must return the same metric keys; a missing or extra key
     indicates a bug in the evaluator and raises.
+
+    ``n_jobs`` (or a pre-built ``executor``) distributes the points
+    across worker processes.  Results are ordered and validated by value
+    position, identically for every worker count; evaluators that cannot
+    cross a process boundary (closures) silently run on the serial path.
     """
     if not values:
         raise ConfigurationError("values must not be empty")
+    executor = executor or ParallelExecutor(n_jobs=n_jobs, progress=progress)
+    evaluated = executor.map(evaluate, list(values))
     collected: dict[str, list[float]] = {}
     keys: set[str] | None = None
-    for value in values:
-        metrics = evaluate(value)
+    for value, metrics in zip(values, evaluated):
         if keys is None:
             keys = set(metrics)
             for k in keys:

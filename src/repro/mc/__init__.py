@@ -14,11 +14,13 @@ from repro.mc.error_stats import (
     compare_error_structure,
 )
 from repro.mc.engine import (
+    ImmunityRatio,
     McResult,
     McRun,
     default_stress_pattern,
     immunity_ratio,
     run_monte_carlo,
+    simulate_die,
 )
 from repro.mc.yield_analysis import (
     SwingSweep,
@@ -30,6 +32,8 @@ from repro.mc.yield_analysis import (
 __all__ = [
     "BerMeasurement",
     "ErrorStats",
+    "ImmunityRatio",
+    "simulate_die",
     "burst_lengths",
     "collect_error_stats",
     "compare_error_structure",

@@ -8,11 +8,19 @@ transmits a stress pattern, and records whether any bit failed.
 The per-die failure *probability* (fraction of dies that cannot carry the
 pattern error-free) is the paper's "error probability" axis; "process
 variation immunity" is its reciprocal ratio between designs.
+
+Dies are independent, so the engine fans them across worker processes via
+:class:`repro.runtime.ParallelExecutor`.  Each die's randomness depends
+only on its own integer seed, so any ``n_jobs`` produces results
+*identical* to the serial reference (``n_jobs=1``), and an opt-in
+:class:`repro.runtime.ResultCache` can skip whole blocks whose inputs
+hash to an already-computed entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -20,6 +28,14 @@ from repro.errors import ConfigurationError
 from repro.circuit.link import SRLRLink
 from repro.circuit.prbs import PrbsGenerator, worst_case_patterns
 from repro.circuit.srlr import SRLRDesignParams
+from repro.runtime import (
+    MISS,
+    ParallelExecutor,
+    ProgressHook,
+    ResultCache,
+    content_key,
+    make_seeds,
+)
 from repro.tech.variation import monte_carlo_sample
 
 
@@ -66,6 +82,31 @@ class McResult:
         return [r.seed for r in self.runs if not r.ok]
 
 
+def simulate_die(
+    seed: int,
+    design: SRLRDesignParams,
+    pattern: tuple[int, ...],
+    bit_period: float,
+    local_enabled: bool,
+) -> McRun:
+    """Draw one die by its seed, transmit the pattern, record the outcome.
+
+    Module-level (not a closure) so a :class:`ParallelExecutor` can ship
+    it to worker processes; the result depends only on the arguments.
+    """
+    sample = monte_carlo_sample(design.tech, seed, local_enabled=local_enabled)
+    link = SRLRLink(design, sample)
+    outcome = link.transmit(list(pattern), bit_period)
+    return McRun(
+        seed=seed,
+        ok=outcome.ok,
+        n_errors=outcome.n_errors,
+        stuck=outcome.stuck,
+        dvth_n=sample.global_corner.dvth_n,
+        dvth_p=sample.global_corner.dvth_p,
+    )
+
+
 def run_monte_carlo(
     design: SRLRDesignParams,
     n_runs: int = 1000,
@@ -73,63 +114,132 @@ def run_monte_carlo(
     pattern: list[int] | None = None,
     base_seed: int = 2013,
     local_enabled: bool = True,
+    seed_scheme: str = "sequential",
+    n_jobs: int | None = 1,
+    executor: ParallelExecutor | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressHook | None = None,
 ) -> McResult:
     """Monte Carlo yield analysis of one link design.
 
-    Each run uses seed ``base_seed + i`` so individual failing dies can be
-    reproduced exactly.  ``local_enabled=False`` restricts variation to
-    global corners only (useful for ablating the two variation scales).
+    Each run's seed comes from a deterministic per-task stream (the
+    default ``sequential`` scheme is the paper's ``base_seed + i``, so
+    individual failing dies can be reproduced exactly; ``spawn`` derives
+    collision-resistant seeds through ``SeedSequence.spawn``).
+    ``local_enabled=False`` restricts variation to global corners only
+    (useful for ablating the two variation scales).
+
+    ``n_jobs`` (or a pre-built ``executor``) fans the dies across worker
+    processes; results are identical for every worker count.  ``cache``
+    (a :class:`~repro.runtime.ResultCache`) skips the whole block when an
+    entry keyed by (design, pattern, seeds, ...) already exists.
     """
     if n_runs < 1:
         raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
     if bit_period <= 0.0:
         raise ConfigurationError(f"bit_period must be positive, got {bit_period}")
     pattern = default_stress_pattern() if pattern is None else pattern
-    result = McResult(design=design)
-    for i in range(n_runs):
-        seed = base_seed + i
-        sample = monte_carlo_sample(
-            design.tech, seed, local_enabled=local_enabled
+    seeds = make_seeds(base_seed, n_runs, seed_scheme)
+
+    key = None
+    if cache is not None:
+        key = content_key(
+            "run_monte_carlo/v1",
+            design,
+            tuple(pattern),
+            bit_period,
+            tuple(seeds),
+            local_enabled,
         )
-        link = SRLRLink(design, sample)
-        outcome = link.transmit(pattern, bit_period)
-        result.runs.append(
-            McRun(
-                seed=seed,
-                ok=outcome.ok,
-                n_errors=outcome.n_errors,
-                stuck=outcome.stuck,
-                dvth_n=sample.global_corner.dvth_n,
-                dvth_p=sample.global_corner.dvth_p,
-            )
-        )
+        cached = cache.get(key)
+        if cached is not MISS:
+            return McResult(design=design, runs=list(cached))
+
+    worker = partial(
+        simulate_die,
+        design=design,
+        pattern=tuple(pattern),
+        bit_period=bit_period,
+        local_enabled=local_enabled,
+    )
+    executor = executor or ParallelExecutor(n_jobs=n_jobs, progress=progress)
+    runs = executor.map(worker, seeds)
+    result = McResult(design=design, runs=runs)
+    if cache is not None and key is not None:
+        cache.put(key, result.runs)
     return result
 
 
-def immunity_ratio(reference: McResult, contender: McResult) -> float:
+class ImmunityRatio(float):
+    """The immunity ratio plus how it was obtained.
+
+    Behaves as a plain ``float`` (every existing call site keeps working)
+    while exposing whether the value is exact or only a *lower bound* —
+    the contender never failed, so one pseudo-failure of probability
+    ``1 / (2 * n_runs)`` was substituted to keep the ratio finite.
+    """
+
+    is_lower_bound: bool
+    pseudo_failure_probability: float | None
+
+    def __new__(
+        cls,
+        value: float,
+        is_lower_bound: bool = False,
+        pseudo_failure_probability: float | None = None,
+    ) -> "ImmunityRatio":
+        self = super().__new__(cls, value)
+        self.is_lower_bound = is_lower_bound
+        self.pseudo_failure_probability = pseudo_failure_probability
+        return self
+
+    def __getnewargs__(self):
+        # float's default pickling bypasses our __new__; route the extra
+        # state through it so cached/pickled ratios keep their flags.
+        return (float(self), self.is_lower_bound, self.pseudo_failure_probability)
+
+    def describe(self) -> str:
+        bound = ">=" if self.is_lower_bound else "="
+        note = (
+            f" (lower bound: contender never failed; pseudo-failure "
+            f"p={self.pseudo_failure_probability:.2e} substituted)"
+            if self.is_lower_bound
+            else ""
+        )
+        return f"immunity {bound} {float(self):.2f}x{note}"
+
+
+def immunity_ratio(reference: McResult, contender: McResult) -> ImmunityRatio:
     """Process-variation immunity of ``contender`` relative to ``reference``.
 
     The paper reports the robust SRLR achieving "about 3.7 times higher
     process variation immunity" than the straightforward design at the
     selected swing: the ratio of failure probabilities (reference over
-    contender).  When the contender never fails, one pseudo-failure is
-    assumed so the ratio stays finite (a lower bound).
+    contender).  When the contender never fails the ratio is unbounded by
+    the data; the returned value substitutes one pseudo-failure of
+    probability ``1/(2*n_runs)`` and flags itself as a lower bound via
+    :attr:`ImmunityRatio.is_lower_bound` instead of doing so silently.
     """
     p_ref = reference.error_probability
     p_new = contender.error_probability
     if p_ref == 0.0 and p_new == 0.0:
-        return 1.0
+        return ImmunityRatio(1.0)
     if p_ref == 0.0:
-        return 0.0
+        return ImmunityRatio(0.0)
     if p_new == 0.0:
-        p_new = 1.0 / (2 * max(contender.n_runs, 1))
-    return p_ref / p_new
+        pseudo = 1.0 / (2 * max(contender.n_runs, 1))
+        return ImmunityRatio(
+            p_ref / pseudo, is_lower_bound=True, pseudo_failure_probability=pseudo
+        )
+    return ImmunityRatio(p_ref / p_new)
 
 
 __all__ = [
+    "ImmunityRatio",
     "McResult",
     "McRun",
     "default_stress_pattern",
     "immunity_ratio",
     "run_monte_carlo",
+    "simulate_die",
 ]

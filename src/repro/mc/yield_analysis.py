@@ -23,6 +23,7 @@ from repro.circuit.srlr import (
     straightforward_design,
 )
 from repro.mc.engine import McResult, run_monte_carlo
+from repro.runtime import ParallelExecutor, ProgressHook, ResultCache
 from repro.tech.technology import Technology, tech_45nm_soi
 
 
@@ -102,6 +103,10 @@ def sweep_swing(
     bit_period: float = 1.0 / 4.1e9,
     tech: Technology | None = None,
     base_seed: int = 2013,
+    n_jobs: int | None = 1,
+    executor: ParallelExecutor | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressHook | None = None,
 ) -> SwingSweep:
     """Monte Carlo error probability over a swing sweep (Fig. 6).
 
@@ -109,10 +114,15 @@ def sweep_swing(
     keys from :func:`design_variants` for the decomposition study.  The
     same seed sequence is used at every (swing, variant) point so the
     comparison is paired: every design faces the same set of dies.
+
+    ``n_jobs``/``executor``/``cache``/``progress`` are forwarded to every
+    underlying :func:`run_monte_carlo` block (the dies parallelize; the
+    sweep order stays deterministic regardless of worker count).
     """
     if not swings:
         raise ConfigurationError("swings must not be empty")
     variants = variants or ["robust", "straightforward"]
+    executor = executor or ParallelExecutor(n_jobs=n_jobs, progress=progress)
     sweep = SwingSweep()
     for swing in swings:
         if swing <= 0.0:
@@ -128,6 +138,8 @@ def sweep_swing(
                 n_runs=n_runs,
                 bit_period=bit_period,
                 base_seed=base_seed,
+                executor=executor,
+                cache=cache,
             )
         sweep.points.append(point)
     return sweep

@@ -1,0 +1,35 @@
+"""Parallel execution runtime: executor, seed streams, metrics, cache.
+
+The subsystem behind ``run_monte_carlo(..., n_jobs=...)`` and
+``sweep(..., n_jobs=...)``: an order-preserving chunked process-pool
+executor whose results are independent of worker count, deterministic
+per-task seed streams, lightweight progress metrics, and an opt-in
+on-disk result cache keyed by a content hash of the inputs.
+"""
+
+from repro.runtime.cache import MISS, ResultCache, content_key, stable_token
+from repro.runtime.executor import ParallelExecutor, resolve_n_jobs
+from repro.runtime.metrics import ChunkRecord, ProgressHook, RunMetrics, print_progress
+from repro.runtime.seeds import (
+    SEED_SCHEMES,
+    make_seeds,
+    sequential_seeds,
+    spawned_seeds,
+)
+
+__all__ = [
+    "MISS",
+    "ChunkRecord",
+    "ParallelExecutor",
+    "ProgressHook",
+    "ResultCache",
+    "RunMetrics",
+    "SEED_SCHEMES",
+    "content_key",
+    "make_seeds",
+    "print_progress",
+    "resolve_n_jobs",
+    "sequential_seeds",
+    "spawned_seeds",
+    "stable_token",
+]

@@ -1,0 +1,149 @@
+"""Opt-in on-disk result cache for expensive Monte Carlo blocks.
+
+Entries are keyed by a SHA-256 content hash of a *stable token* of the
+inputs (design parameters, stress pattern, seeds, ...), so a re-run with
+identical physics skips the computation while any parameter change — a
+different swing, pattern, seed stream or die count — changes the key and
+recomputes.  Values are pickled to ``<root>/<key[:2]>/<key>.pkl`` via an
+atomic rename; a corrupted or truncated entry reads as a miss (and is
+deleted), never as a crash or a wrong result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+#: Returned by :meth:`ResultCache.get` on a miss (``None`` is a valid value).
+MISS = object()
+
+
+def stable_token(obj: Any) -> str:
+    """A deterministic, content-only string for hashing cache keys.
+
+    Covers the input shapes the repo caches over: primitives, sequences,
+    mappings, dataclasses (by class name + field tokens, recursively) and
+    numpy scalars/arrays.  Other objects fall back to their class name
+    plus sorted instance ``__dict__`` — and anything whose default
+    ``repr`` would leak a memory address is rejected loudly rather than
+    producing an unstable key.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return f"{type(obj).__name__}:{obj!r}"
+    if isinstance(obj, float):
+        return f"float:{obj.hex()}"
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return stable_token(obj.item())
+    if isinstance(obj, np.ndarray):
+        return f"ndarray:{obj.dtype}:{obj.shape}:{obj.tobytes().hex()}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={stable_token(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__qualname__}({fields})"
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(stable_token(v) for v in obj)
+        return f"{type(obj).__name__}[{inner}]"
+    if isinstance(obj, (set, frozenset)):
+        inner = ",".join(sorted(stable_token(v) for v in obj))
+        return f"{type(obj).__name__}{{{inner}}}"
+    if isinstance(obj, dict):
+        inner = ",".join(
+            f"{stable_token(k)}:{stable_token(v)}"
+            for k, v in sorted(obj.items(), key=lambda kv: stable_token(kv[0]))
+        )
+        return f"dict{{{inner}}}"
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        inner = ",".join(
+            f"{k}={stable_token(v)}" for k, v in sorted(state.items())
+        )
+        return f"{type(obj).__qualname__}<{inner}>"
+    raise TypeError(f"cannot build a stable cache token for {type(obj)!r}")
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 hex digest of the stable tokens of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(stable_token(part).encode())
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+class ResultCache:
+    """A small content-addressed pickle store with hit/miss accounting."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`MISS`.
+
+        A corrupted entry (truncated pickle, wrong type, unreadable file)
+        counts as a miss; the bad file is removed so the recomputed value
+        can be stored cleanly.
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+            stored_key, value = payload["key"], payload["value"]
+            if stored_key != key:
+                raise ValueError("cache entry key mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically (write + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump({"key": key, "value": value}, fh, protocol=4)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def summary(self) -> str:
+        return (
+            f"cache at {self.root}: {self.hits} hits, {self.misses} misses"
+            f" ({self.corrupt} corrupt entries discarded)"
+        )
+
+
+__all__ = ["MISS", "ResultCache", "content_key", "stable_token"]

@@ -70,6 +70,37 @@ def test_immunity_ratio_math():
     assert immunity_ratio(_fake_result(10, 100), _fake_result(0, 100)) == pytest.approx(20.0)
 
 
+def test_immunity_ratio_reports_lower_bound():
+    # Contender never failed: the ratio is only a lower bound and must
+    # say so, not silently substitute the pseudo-failure.
+    bounded = immunity_ratio(_fake_result(10, 100), _fake_result(0, 100))
+    assert bounded.is_lower_bound
+    assert bounded.pseudo_failure_probability == pytest.approx(1.0 / 200)
+    assert "lower bound" in bounded.describe()
+    assert ">=" in bounded.describe()
+
+
+def test_immunity_ratio_exact_cases_are_not_bounds():
+    for reference, contender in [(20, 5), (0, 0), (0, 5)]:
+        ratio = immunity_ratio(_fake_result(reference, 100), _fake_result(contender, 100))
+        assert not ratio.is_lower_bound
+        assert ratio.pseudo_failure_probability is None
+        assert "=" in ratio.describe() and ">=" not in ratio.describe()
+
+
+def test_immunity_ratio_behaves_as_float():
+    import pickle
+
+    ratio = immunity_ratio(_fake_result(10, 100), _fake_result(0, 100))
+    assert isinstance(ratio, float)
+    assert f"{ratio:.2f}" == "20.00"
+    assert ratio * 2 == 40.0
+    restored = pickle.loads(pickle.dumps(ratio))
+    assert restored == ratio
+    assert restored.is_lower_bound == ratio.is_lower_bound
+    assert restored.pseudo_failure_probability == ratio.pseudo_failure_probability
+
+
 def test_run_monte_carlo_validation(robust):
     with pytest.raises(ConfigurationError):
         run_monte_carlo(robust, n_runs=0)

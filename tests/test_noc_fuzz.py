@@ -7,6 +7,13 @@ invariants must hold for every combination:
 * flits are conserved (buffer writes == reads after drain, up to taps);
 * credits and VC ownership return to their reset state after drain;
 * latency is bounded below by the XY pipeline minimum.
+
+Beyond the end-state checks, a second family of tests steps randomized
+configurations cycle by cycle and asserts *conservation invariants at
+every cycle*: no flit created or destroyed outside inject/eject, per-VC
+credits never negative or above capacity (and exactly accounting for the
+flits downstream of them), and every measured packet delivered exactly
+once against the offered ledger.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from hypothesis import strategies as st
 
 from repro.noc import MeshTopology, NocConfig, NocSimulator, SyntheticTraffic
 from repro.noc.routing import unicast_path_hops
+from repro.noc.topology import OPPOSITE, Port
 
 configs = st.fixed_dictionaries(
     {
@@ -110,6 +118,154 @@ def test_same_seed_same_world(k, seed, rate):
     key_a = [(d.dest, d.inject_cycle, d.deliver_cycle) for d in a.deliveries]
     key_b = [(d.dest, d.inject_cycle, d.deliver_cycle) for d in b.deliveries]
     assert key_a == key_b
+
+
+# --- per-cycle conservation invariants -------------------------------------------------
+#
+# The checks below run after *every* simulator cycle, not just at drain:
+# a transient credit leak or a flit duplicated for one cycle and then
+# reabsorbed would pass the end-state tests but fail these.
+
+
+def _staged_count(router, port, vc_idx):
+    return sum(1 for _, p, v in router._staged if p == port and v == vc_idx)
+
+
+def _check_credit_conservation(sim):
+    """Per-VC credits within [0, capacity] and exactly accounting for
+    every flit downstream of the credit counter."""
+    cap = sim.config.vc_capacity
+    links_by_src_port = {
+        (link.src, OPPOSITE[link.dst.port]): link for link in sim.links
+    }
+    for node, router in sim.routers.items():
+        for port, out in router.outputs.items():
+            link = links_by_src_port[(node, port)]
+            downstream = sim.routers[link.dst.node]
+            for vc in range(sim.config.n_vcs):
+                credits = out.credits[vc]
+                assert 0 <= credits <= cap, f"credits out of range: {credits}"
+                in_flight = sum(1 for _, _, v in link._in_flight if v == vc)
+                buffered = downstream.inputs[link.dst.port].vcs[vc].occupancy
+                staged = _staged_count(downstream, link.dst.port, vc)
+                assert cap - credits == in_flight + buffered + staged, (
+                    f"credit leak at {node}->{link.dst.node} vc{vc}: "
+                    f"{cap - credits} consumed vs {in_flight}+{buffered}+{staged}"
+                )
+                if out.owner[vc] is None:
+                    # A free VC has nothing resident: all credits home.
+                    assert credits == cap
+    for node, nic in sim.nics.items():
+        router = sim.routers[node]
+        for vc in range(sim.config.n_vcs):
+            credits = nic.out.credits[vc]
+            assert 0 <= credits <= cap
+            buffered = router.inputs[Port.LOCAL].vcs[vc].occupancy
+            staged = _staged_count(router, Port.LOCAL, vc)
+            assert cap - credits == buffered + staged
+
+
+def _resident_flits(sim):
+    """Every flit currently alive inside the network fabric."""
+    count = 0
+    for router in sim.routers.values():
+        count += len(router._staged)
+        for port in router.inputs.values():
+            count += port.occupancy
+    for link in sim.links:
+        count += len(link._in_flight)
+    return count
+
+
+def _check_flit_conservation(sim):
+    """Unicast traffic: injected == resident + ejected, every cycle.
+
+    (Multicast legitimately copies flits at route forks and absorbs them
+    at taps, so the strict form of "no flit created or destroyed outside
+    inject/eject" is a unicast invariant.)
+    """
+    stats = sim.stats
+    resident = _resident_flits(sim)
+    assert stats.injected_flits == resident + stats.ejections, (
+        f"flit conservation broken: injected {stats.injected_flits} != "
+        f"resident {resident} + ejected {stats.ejections}"
+    )
+
+
+unicast_configs = st.fixed_dictionaries(
+    {
+        "k": st.integers(2, 4),
+        "n_vcs": st.sampled_from([2, 4]),
+        "vc_capacity": st.integers(1, 4),
+        "link_latency": st.integers(1, 2),
+        "enable_bypass": st.booleans(),
+        "routing": st.sampled_from(["xy", "o1turn"]),
+        "rate": st.floats(0.01, 0.12),
+        "pattern": st.sampled_from(["uniform", "transpose", "neighbor"]),
+        "size_flits": st.integers(1, 3),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=unicast_configs)
+def test_conservation_invariants_every_cycle(params):
+    sim = _build(
+        {**params, "enable_taps": False, "multicast_fraction": 0.0}
+    )
+
+    # Ledger of owed (packet, dest) pairs, recorded at offer time.
+    owed: list[tuple[int, tuple[int, int]]] = []
+    for nic in sim.nics.values():
+        original = nic.offer
+
+        def offer(packet, _original=original):
+            owed.extend((packet.packet_id, d) for d in packet.dests)
+            _original(packet)
+
+        nic.offer = offer
+
+    sim.stats.measure_start, sim.stats.measure_end = 0, 150
+    for _ in range(150):
+        sim.step()
+        _check_credit_conservation(sim)
+        _check_flit_conservation(sim)
+
+    # Drain with the invariants still enforced each cycle.
+    sim.traffic.injection_rate = 0.0
+    for _ in range(20_000):
+        if not sim._network_busy():
+            break
+        sim.step()
+        _check_credit_conservation(sim)
+        _check_flit_conservation(sim)
+    assert not sim._network_busy(), "network failed to drain"
+
+    # Delivered-exactly-once against the offered ledger.
+    delivered = [(d.packet_id, d.dest) for d in sim.stats.deliveries]
+    assert len(delivered) == len(set(delivered)), "duplicate delivery"
+    assert sorted(delivered) == sorted(owed), "delivery ledger mismatch"
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=configs)
+def test_credit_bounds_every_cycle_with_multicast(params):
+    # The strict flit ledger is unicast-only, but credit bounds and the
+    # credit/occupancy accounting must hold under forks and taps too.
+    sim = _build(params)
+    sim.stats.measure_start, sim.stats.measure_end = 0, 120
+    for _ in range(120):
+        sim.step()
+        _check_credit_conservation(sim)
 
 
 @settings(max_examples=15, deadline=None)
