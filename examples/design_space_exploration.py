@@ -1,85 +1,107 @@
-"""Design-space exploration with the public API.
+"""Design-space exploration with the `repro.dse` engine.
 
-Run:  python examples/design_space_exploration.py
+Run:  PYTHONPATH=src python examples/design_space_exploration.py
 
-Uses the sizing methodology of Section II as a library: repeater
-insertion length, M1/M2 sensitivity sizing, the swing/energy/margin
-trade, and driver-width optimization — then builds a custom design from
-the chosen point and verifies it end to end.
+Walks the three layers of the DSE subsystem on the paper's own
+questions:
+
+1. the Section II sizing study as an exhaustive grid (one shared grid
+   implementation with ``analysis.sweep.sweep_grid``);
+2. the Fig. 8 energy/bandwidth-density study as an NSGA-II search with
+   the Fig. 6 Monte Carlo yield gate, including the frontier-membership
+   verdict against the Table I baselines;
+3. a custom space showing constraints, Latin-hypercube sampling and the
+   Pareto utilities directly.
+
+Set ``REPRO_DSE_FULL=1`` for publication-size budgets (the default is
+sized for a quick demonstration / the CI examples smoke job); set
+``REPRO_DSE_JOBS=N`` to fan candidate batches across N processes.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import os
 
-from repro.analysis import format_table
-from repro.circuit import (
-    NMOSDriver,
-    PrbsGenerator,
-    SRLRLink,
-    optimize_driver,
-    robust_design,
-    sensitivity_vs_m1_m2_ratio,
-    sweep_segment_length,
-    sweep_swing_energy,
-    worst_case_patterns,
+from repro.dse import (
+    GridStrategy,
+    LhsStrategy,
+    Nsga2Strategy,
+    ParamSpace,
+    Zdt1Evaluator,
+    continuous,
+    fig8_study,
+    format_front,
+    format_summary,
+    hypervolume,
+    run_dse,
+    sizing_study,
 )
-from repro.units import GBPS, MM, UM
+
+FULL = os.environ.get("REPRO_DSE_FULL", "") not in ("", "0")
+N_JOBS = int(os.environ.get("REPRO_DSE_JOBS", "1"))
+
+
+def sizing_grid() -> None:
+    """Section II sizing trade on an exhaustive grid."""
+    result = sizing_study(
+        strategy=GridStrategy(levels=3 if FULL else 2), n_jobs=N_JOBS
+    )
+    print(format_summary(result))
+    print()
+    print(format_front(result, title="Section II sizing: energy vs margin front"))
+    best_margin = max(r.objectives["min_margin_mv"] for r in result.front)
+    print(f"\nbest worst-stage margin on the front: {best_margin:.0f} mV")
+
+
+def fig8_nsga2() -> None:
+    """Fig. 8 frontier claim under NSGA-II search."""
+    outcome = fig8_study(
+        strategy=Nsga2Strategy(
+            population=16 if FULL else 8, generations=6 if FULL else 2
+        ),
+        # The yield gate is a Monte Carlo estimate: too few dies and a
+        # fragile design can pass by sampling luck, so the quick mode
+        # still spends a meaningful die count here.
+        mc_runs=40 if FULL else 32,
+        n_jobs=N_JOBS,
+    )
+    print(format_summary(outcome.result))
+    print()
+    print(format_front(outcome.result, title="Fig. 8: energy vs bandwidth density front"))
+    paper = outcome.paper_point
+    print(f"\npaper operating point (reproduced): "
+          f"{paper['energy_fj_per_bit_per_cm']:.0f} fJ/bit/cm at "
+          f"{paper['bandwidth_density_gbps_per_um']:.2f} Gb/s/um")
+    print(outcome.verdict())
+
+
+def custom_space() -> None:
+    """Constraints, LHS sampling and Pareto utilities on an analytic problem."""
+    space = ParamSpace(
+        parameters=tuple(continuous(f"x{i}", 0.0, 1.0) for i in range(3)),
+        constraints=("x0 + x1 <= 1.5",),
+    )
+    result = run_dse(
+        space,
+        Zdt1Evaluator(dimension=3),
+        LhsStrategy(n_samples=64 if FULL else 24),
+        base_seed=7,
+        n_jobs=N_JOBS,
+    )
+    signed = result.signed_front()
+    hv = hypervolume(signed, (1.5, 10.0))
+    print(format_summary(result))
+    print(f"\nLHS front of ZDT1 (known ideal: f2 = 1 - sqrt(f1)); "
+          f"hypervolume to (1.5, 10) = {hv:.3f}")
 
 
 def main() -> None:
-    # 1. Why 1 mm repeater insertion (the mesh router-to-router distance).
-    rows = [
-        [
-            f"{p.segment_length / MM:.1f}",
-            "yes" if p.ok else "no",
-            f"{p.swing_at_receiver * 1000:.0f}",
-            "-" if p.energy_per_bit_per_mm == float("inf")
-            else f"{p.energy_per_bit_per_mm:.1f}",
-        ]
-        for p in sweep_segment_length([0.5 * MM, 1.0 * MM, 2.0 * MM, 2.5 * MM])
-    ]
-    print(format_table(
-        ["segment [mm]", "works", "swing [mV]", "energy [fJ/b/mm]"],
-        rows, title="Repeater insertion length"))
-
-    # 2. M1/M2 sizing: input sensitivity vs the current ratio.
-    rows = [
-        [f"{p.m1_width / UM:.0f}", f"{p.current_ratio:.1f}",
-         f"{p.min_swing * 1000:.0f}"]
-        for p in sensitivity_vs_m1_m2_ratio([2 * UM, 4 * UM, 8 * UM])
-    ]
-    print("\n" + format_table(
-        ["M1 width [um]", "I(M1)/I(M2) at swing", "sensitivity floor [mV]"],
-        rows, title="M1/M2 sizing (Section II)"))
-
-    # 3. Swing/energy/margin trade.
-    rows = [
-        [f"{p.swing * 1000:.0f}", f"{p.energy_per_bit_per_mm:.1f}",
-         f"{p.margin * 1000:.0f}"]
-        for p in sweep_swing_energy([0.26, 0.28, 0.30, 0.32, 0.34])
-    ]
-    print("\n" + format_table(
-        ["swing [mV]", "energy [fJ/b/mm]", "margin [mV]"],
-        rows, title="Swing selection"))
-
-    # 4. Driver sizing under a rate constraint.
-    choice = optimize_driver([0.6, 0.8, 1.0, 1.3, 1.6])
-    print(f"\nchosen driver: up {choice.width_up / UM:.1f} um / "
-          f"down {choice.width_down / UM:.1f} um -> "
-          f"{choice.energy_per_bit_per_mm:.1f} fJ/b/mm at "
-          f"{choice.max_data_rate / GBPS:.2f} Gb/s")
-
-    # 5. Build the custom design and verify it end to end.
-    custom = dataclasses.replace(
-        robust_design(nominal_swing=0.31),
-        driver=NMOSDriver(width_up=choice.width_up, width_down=choice.width_down),
-    )
-    link = SRLRLink(custom)
-    pattern = PrbsGenerator(7).bits(127) + worst_case_patterns()
-    outcome = link.transmit(pattern, 1.0 / (4.1 * GBPS))
-    print(f"\ncustom design at 4.1 Gb/s: errors {outcome.n_errors}/{len(pattern)}, "
-          f"energy {0.5 * link.energy_per_pulse()['total'] * 1e15 / 10:.1f} fJ/bit/mm")
+    print("=== 1. Section II sizing study (grid) ===")
+    sizing_grid()
+    print("\n=== 2. Fig. 8 frontier study (NSGA-II + yield gate) ===")
+    fig8_nsga2()
+    print("\n=== 3. Custom space (constraints, LHS, Pareto utilities) ===")
+    custom_space()
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@ The package is organized bottom-up:
 * :mod:`repro.energy` — energy/power models, prior-work baselines, router.
 * :mod:`repro.noc` — cycle-level mesh NoC simulator (the system context).
 * :mod:`repro.analysis` — sweeps, report tables, per-experiment drivers.
+* :mod:`repro.dse` — multi-objective design-space exploration (Pareto
+  search with a resumable run store) over all of the above.
 
 See DESIGN.md for the system inventory and the per-experiment index, and
 EXPERIMENTS.md for paper-vs-measured results.

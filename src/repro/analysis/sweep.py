@@ -1,8 +1,17 @@
-"""Generic parameter-sweep helpers used by benches and examples."""
+"""Generic parameter-sweep helpers used by benches, examples and the DSE.
+
+:func:`sweep` is the classic 1-D sweep; :func:`sweep_grid` is its
+N-dimensional generalization over a full cartesian product.  Both fan
+their evaluations through :class:`repro.runtime.ParallelExecutor`, and
+:func:`grid_points` — the one grid enumeration in the repo — is shared
+with :class:`repro.dse.strategies.GridStrategy` so grid semantics cannot
+drift between sweeps and design-space searches.
+"""
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+import itertools
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -52,31 +61,112 @@ def sweep(
     ``n_jobs`` (or a pre-built ``executor``) distributes the points
     across worker processes.  Results are ordered and validated by value
     position, identically for every worker count; evaluators that cannot
-    cross a process boundary (closures) silently run on the serial path.
+    cross a process boundary (closures) run on the serial path and emit a
+    :class:`repro.runtime.SerialFallbackWarning` saying so.
     """
     if not values:
         raise ConfigurationError("values must not be empty")
     executor = executor or ParallelExecutor(n_jobs=n_jobs, progress=progress)
     evaluated = executor.map(evaluate, list(values))
+    return SweepResult(
+        parameter=parameter,
+        values=tuple(float(v) for v in values),
+        metrics=_collect_metrics(values, evaluated),
+    )
+
+
+def _collect_metrics(
+    labels: Sequence[object], evaluated: Sequence[Mapping[str, float]]
+) -> dict[str, tuple[float, ...]]:
+    """Transpose per-point metric dicts into named series, validating keys."""
     collected: dict[str, list[float]] = {}
     keys: set[str] | None = None
-    for value, metrics in zip(values, evaluated):
+    for label, metrics in zip(labels, evaluated):
         if keys is None:
             keys = set(metrics)
             for k in keys:
                 collected[k] = []
         elif set(metrics) != keys:
             raise ConfigurationError(
-                f"evaluator returned keys {sorted(metrics)} at {value}, "
+                f"evaluator returned keys {sorted(metrics)} at {label}, "
                 f"expected {sorted(keys)}"
             )
         for k, v in metrics.items():
             collected[k].append(float(v))
-    return SweepResult(
-        parameter=parameter,
-        values=tuple(float(v) for v in values),
-        metrics={k: tuple(v) for k, v in collected.items()},
+    return {k: tuple(v) for k, v in collected.items()}
+
+
+def grid_points(
+    parameters: Mapping[str, Sequence[float]],
+) -> list[dict[str, float]]:
+    """The full cartesian product of named axes, in row-major order.
+
+    The first axis varies slowest, the last fastest (like nested loops in
+    declaration order).  This is the single grid enumeration shared by
+    :func:`sweep_grid` and the DSE grid strategy.
+    """
+    if not parameters:
+        raise ConfigurationError("parameters must not be empty")
+    for name, values in parameters.items():
+        if not values:
+            raise ConfigurationError(f"axis {name!r} has no values")
+    names = list(parameters)
+    return [
+        {name: float(v) for name, v in zip(names, combo)}
+        for combo in itertools.product(*(parameters[n] for n in names))
+    ]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """An N-D sweep: one point (a named-parameter dict) per grid cell."""
+
+    parameters: tuple[str, ...]
+    points: tuple[dict[str, float], ...]
+    metrics: dict[str, tuple[float, ...]]
+
+    def series(self, metric: str) -> list[tuple[dict[str, float], float]]:
+        if metric not in self.metrics:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; have {sorted(self.metrics)}"
+            )
+        return list(zip(self.points, self.metrics[metric]))
+
+    def rows(self) -> list[list[float]]:
+        """Table rows: parameter values in axis order, then sorted metrics."""
+        keys = sorted(self.metrics)
+        return [
+            [*(point[p] for p in self.parameters), *(self.metrics[k][i] for k in keys)]
+            for i, point in enumerate(self.points)
+        ]
+
+    def headers(self) -> list[str]:
+        return [*self.parameters, *sorted(self.metrics)]
+
+
+def sweep_grid(
+    parameters: Mapping[str, Sequence[float]],
+    evaluate: Callable[[dict[str, float]], dict[str, float]],
+    n_jobs: int | None = 1,
+    executor: ParallelExecutor | None = None,
+    progress: ProgressHook | None = None,
+) -> GridResult:
+    """Evaluate ``evaluate`` at every point of a cartesian grid.
+
+    ``parameters`` maps axis names to their values; ``evaluate`` receives
+    one ``{name: value}`` dict per grid cell and returns named metrics
+    (the same keys at every point, as in :func:`sweep`).  Points are
+    enumerated by :func:`grid_points` and fanned through the executor —
+    results are ordered and identical for every worker count.
+    """
+    points = grid_points(parameters)
+    executor = executor or ParallelExecutor(n_jobs=n_jobs, progress=progress)
+    evaluated = executor.map(evaluate, points)
+    return GridResult(
+        parameters=tuple(parameters),
+        points=tuple(points),
+        metrics=_collect_metrics(points, evaluated),
     )
 
 
-__all__ = ["SweepResult", "sweep"]
+__all__ = ["GridResult", "SweepResult", "grid_points", "sweep", "sweep_grid"]

@@ -1,0 +1,365 @@
+"""The DSE engine: strategy loop, parallel evaluation, replay, caching.
+
+:class:`DseEngine` drives a :class:`~repro.dse.strategies.SearchStrategy`
+through ask/evaluate/tell rounds.  Each asked batch is resolved in three
+tiers, cheapest first:
+
+1. **store replay** — the run store already holds this candidate (a
+   resumed search, or a strategy re-proposing a known point);
+2. **result cache** — an optional cross-run
+   :class:`~repro.runtime.ResultCache` entry under the same content key;
+3. **evaluation** — remaining candidates fan out together through one
+   :class:`~repro.runtime.ParallelExecutor` map.
+
+A candidate's identity is ``content_key(evaluator, params, seed)`` where
+the seed itself derives from ``(base_seed, params)`` via
+:func:`repro.runtime.derived_seed`.  Identity therefore depends only on
+*what* is evaluated — never on worker count, batch composition or which
+run first met the candidate — which is what makes three different
+executions interchangeable: a fresh run, a cache-warm run and a resumed
+run all produce bitwise-identical records and therefore identical
+fronts.
+
+Constraint-infeasible candidates are recorded without spending a
+simulation; model-rejected ones (:class:`InfeasibleDesign`) are recorded
+with the rejection reason.  Both enter the strategy as all-``inf``
+vectors and can never appear in the reported front.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.dse.objectives import (
+    InfeasibleDesign,
+    Objective,
+    infeasible_vector,
+    signed_vector,
+)
+from repro.dse.pareto import hypervolume, pareto_front_indices
+from repro.dse.space import ParamSpace
+from repro.dse.store import EvalRecord, RunStore
+from repro.dse.strategies import SearchStrategy
+from repro.errors import ConfigurationError
+from repro.runtime import (
+    MISS,
+    ParallelExecutor,
+    ResultCache,
+    content_key,
+    derived_seed,
+    stable_token,
+)
+
+
+def candidate_key(evaluator, params: dict[str, float], seed: int) -> str:
+    """The content identity of one evaluation (store + cache key)."""
+    return content_key("dse-eval/v1", evaluator, params, seed)
+
+
+def candidate_seed(base_seed: int, params: dict[str, float]) -> int:
+    """The deterministic per-candidate seed (content-addressed)."""
+    return derived_seed(base_seed, stable_token(params))
+
+
+def _evaluate_task(task: tuple) -> tuple[dict[str, float], str]:
+    """Worker body: ``(metrics, infeasible_reason)`` for one candidate.
+
+    Module-level so candidate batches can cross process boundaries; the
+    result depends only on the task tuple.
+    """
+    evaluator, params, seed = task
+    try:
+        return evaluator(params, seed), ""
+    except InfeasibleDesign as exc:
+        return {}, str(exc) or "infeasible"
+
+
+@dataclass
+class DseResult:
+    """Everything one search produced."""
+
+    space: ParamSpace
+    objectives: tuple[Objective, ...]
+    records: list[EvalRecord]  # evaluation order, unique per candidate
+    front: list[EvalRecord]  # feasible non-dominated records
+    generations: int
+    n_evaluated: int  # computed fresh this run
+    n_replayed: int  # served from the run store
+    n_cache_hits: int  # served from the cross-run result cache
+    elapsed: float
+
+    def signed_front(self) -> list[tuple[float, ...]]:
+        """The front as minimization vectors (objective order)."""
+        return [signed_vector(self.objectives, r.objectives) for r in self.front]
+
+    def front_hypervolume(self, reference: tuple[float, ...] | None = None) -> float:
+        """Hypervolume of the front; auto-reference = nadir + 10% span."""
+        signed = self.signed_front()
+        if not signed:
+            return 0.0
+        if reference is None:
+            lo = [min(v[m] for v in signed) for m in range(len(self.objectives))]
+            hi = [max(v[m] for v in signed) for m in range(len(self.objectives))]
+            reference = tuple(
+                h + 0.1 * max(h - l, 1e-12) for l, h in zip(lo, hi)
+            )
+        return hypervolume(signed, reference)
+
+
+@dataclass
+class DseEngine:
+    """One configured search: space + evaluator + strategy + runtime."""
+
+    space: ParamSpace
+    evaluator: object  # picklable callable with .objectives
+    strategy: SearchStrategy
+    base_seed: int = 2013
+    n_jobs: int | None = 1
+    executor: ParallelExecutor | None = None
+    cache: ResultCache | None = None
+    store: RunStore | None = None
+    progress: object | None = None  # callable(generation, n_new, n_total)
+    _by_key: dict[str, EvalRecord] = field(default_factory=dict, repr=False)
+    _order: list[str] = field(default_factory=list, repr=False)
+
+    def run_config(self) -> dict:
+        """The configuration a run store binds to (resume compatibility)."""
+        return {
+            "space": self.space.spec(),
+            "evaluator": stable_token(self.evaluator),
+            "objectives": [
+                {"name": o.name, "sense": o.sense} for o in self.evaluator.objectives
+            ],
+            "strategy": self.strategy.describe(),
+            "base_seed": self.base_seed,
+        }
+
+    def run(self, resume: bool = False) -> DseResult:
+        """Execute the search to completion and report the front.
+
+        ``resume=True`` continues a store written by an identical
+        configuration: the strategy loop replays deterministically, so
+        stored candidates short-circuit and only missing work runs.
+        """
+        t_start = time.perf_counter()
+        executor = self.executor or ParallelExecutor(n_jobs=self.n_jobs)
+        if self.store is not None:
+            self.store.begin(self.run_config(), resume=resume)
+        self._by_key.clear()
+        self._order.clear()
+        n_evaluated = n_replayed = cache_hits_before = 0
+        if self.cache is not None:
+            cache_hits_before = self.cache.hits
+        self.strategy.reset(self.space, self.base_seed)
+        generation = 0
+        while True:
+            batch = self.strategy.ask()
+            if batch is None:
+                break
+            if not batch:
+                raise ConfigurationError(
+                    "strategy asked an empty batch; return None to finish"
+                )
+            records, fresh, replayed = self._resolve_batch(
+                batch, generation, executor
+            )
+            n_evaluated += fresh
+            n_replayed += replayed
+            signed = [
+                signed_vector(self.evaluator.objectives, r.objectives)
+                if r.feasible
+                else infeasible_vector(self.evaluator.objectives)
+                for r in records
+            ]
+            self.strategy.tell(batch, signed)
+            if self.progress is not None:
+                self.progress(generation, fresh, len(self._order))
+            generation += 1
+        records = [self._by_key[k] for k in self._order]
+        front = self._front_of(records)
+        return DseResult(
+            space=self.space,
+            objectives=tuple(self.evaluator.objectives),
+            records=records,
+            front=front,
+            generations=generation,
+            n_evaluated=n_evaluated,
+            n_replayed=n_replayed,
+            n_cache_hits=(
+                self.cache.hits - cache_hits_before if self.cache is not None else 0
+            ),
+            elapsed=time.perf_counter() - t_start,
+        )
+
+    # --- batch resolution -------------------------------------------------------------
+
+    def _resolve_batch(
+        self,
+        batch: list[dict[str, float]],
+        generation: int,
+        executor: ParallelExecutor,
+    ) -> tuple[list[EvalRecord], int, int]:
+        """Records for one asked batch: replayed, cached or computed."""
+        resolved: list[EvalRecord | None] = [None] * len(batch)
+        pending: list[tuple[int, str, dict[str, float], int]] = []
+        replayed = 0
+        for i, params in enumerate(batch):
+            self.space.validate(params)
+            seed = candidate_seed(self.base_seed, params)
+            key = candidate_key(self.evaluator, params, seed)
+            record = self._by_key.get(key)
+            if record is None and self.store is not None:
+                record = self.store.get(key)
+                if record is not None:
+                    replayed += 1
+            if record is not None:
+                resolved[i] = record
+                continue
+            if not self.space.feasible(params):
+                resolved[i] = EvalRecord(
+                    key=key,
+                    generation=generation,
+                    index=i,
+                    params=params,
+                    seed=seed,
+                    feasible=False,
+                    objectives={},
+                    reason="violates space constraints",
+                )
+                continue
+            pending.append((i, key, params, seed))
+
+        fresh = self._evaluate_pending(pending, generation, resolved, executor)
+        records: list[EvalRecord] = []
+        for record in resolved:
+            assert record is not None
+            records.append(record)
+            if record.key not in self._by_key:
+                self._by_key[record.key] = record
+                self._order.append(record.key)
+                if self.store is not None:
+                    self.store.append(record)
+        return records, fresh, replayed
+
+    def _evaluate_pending(
+        self,
+        pending: list[tuple[int, str, dict[str, float], int]],
+        generation: int,
+        resolved: list[EvalRecord | None],
+        executor: ParallelExecutor,
+    ) -> int:
+        """Fill ``resolved`` slots for candidates that need real work."""
+        # Consult the cross-run cache first, and evaluate each distinct
+        # key once even if a batch repeats a candidate.
+        tasks: dict[str, tuple] = {}
+        for i, key, params, seed in pending:
+            if self.cache is not None and key not in tasks:
+                value = self.cache.get(key)
+                if value is not MISS:
+                    metrics, reason = value
+                    resolved[i] = self._record(
+                        key, generation, i, params, seed, metrics, reason
+                    )
+                    continue
+            tasks.setdefault(key, (self.evaluator, params, seed))
+        unique = [
+            (key, task) for key, task in tasks.items()
+        ]
+        outcomes: dict[str, tuple[dict[str, float], str, float]] = {}
+        if unique:
+            t0 = time.perf_counter()
+            results = executor.map(_evaluate_task, [task for _, task in unique])
+            per_task = (time.perf_counter() - t0) / len(unique)
+            for (key, _), (metrics, reason) in zip(unique, results):
+                outcomes[key] = (metrics, reason, per_task)
+                if self.cache is not None:
+                    self.cache.put(key, (metrics, reason))
+        fresh = len(outcomes)
+        for i, key, params, seed in pending:
+            if resolved[i] is not None:
+                continue
+            if key in outcomes:
+                metrics, reason, elapsed = outcomes[key]
+                resolved[i] = self._record(
+                    key, generation, i, params, seed, metrics, reason, elapsed
+                )
+            else:
+                # A batch-internal duplicate whose first copy came from
+                # the cache: reuse whatever the earlier slot resolved to.
+                twin = next(
+                    r for r in resolved if r is not None and r.key == key
+                )
+                resolved[i] = twin
+        return fresh
+
+    def _record(
+        self,
+        key: str,
+        generation: int,
+        index: int,
+        params: dict[str, float],
+        seed: int,
+        metrics: dict[str, float],
+        reason: str,
+        elapsed: float = 0.0,
+    ) -> EvalRecord:
+        return EvalRecord(
+            key=key,
+            generation=generation,
+            index=index,
+            params=params,
+            seed=seed,
+            feasible=not reason,
+            objectives={k: float(v) for k, v in metrics.items()},
+            reason=reason,
+            elapsed=elapsed,
+        )
+
+    # --- front ------------------------------------------------------------------------
+
+    def _front_of(self, records: list[EvalRecord]) -> list[EvalRecord]:
+        feasible = [r for r in records if r.feasible]
+        if not feasible:
+            return []
+        signed = [
+            signed_vector(self.evaluator.objectives, r.objectives) for r in feasible
+        ]
+        front = [feasible[i] for i in pareto_front_indices(signed)]
+        # Present the front along the first objective for stable reading.
+        first = self.evaluator.objectives[0]
+        return sorted(front, key=lambda r: first.signed(r.objectives[first.name]))
+
+
+def run_dse(
+    space: ParamSpace,
+    evaluator,
+    strategy: SearchStrategy,
+    base_seed: int = 2013,
+    n_jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    store: RunStore | None = None,
+    resume: bool = False,
+    progress=None,
+) -> DseResult:
+    """One-call search: build a :class:`DseEngine` and run it."""
+    engine = DseEngine(
+        space=space,
+        evaluator=evaluator,
+        strategy=strategy,
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+        cache=cache,
+        store=store,
+        progress=progress,
+    )
+    return engine.run(resume=resume)
+
+
+__all__ = [
+    "DseEngine",
+    "DseResult",
+    "candidate_key",
+    "candidate_seed",
+    "run_dse",
+]

@@ -1,0 +1,144 @@
+"""Pareto machinery: dominance, non-dominated sorting, crowding, hypervolume.
+
+All functions operate on **minimization** vectors — objective adapters
+negate maximized quantities before anything reaches this module (see
+:meth:`repro.dse.objectives.Objective.signed`).  Non-finite coordinates
+are legal (infeasible candidates carry ``+inf``) and behave naturally
+under dominance: any finite point dominates them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+Vector = Sequence[float]
+
+
+def dominates(a: Vector, b: Vector) -> bool:
+    """Pareto dominance for minimization: ``a`` <= everywhere, < somewhere."""
+    if len(a) != len(b):
+        raise ConfigurationError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    not_worse = all(x <= y for x, y in zip(a, b))
+    return not_worse and any(x < y for x, y in zip(a, b))
+
+
+def non_dominated_sort(points: Sequence[Vector]) -> list[list[int]]:
+    """Fast non-dominated sort: fronts of indices, best (rank 0) first.
+
+    Deb's O(M N^2) algorithm; the index order *within* each front follows
+    the input order, so the sort is deterministic for a fixed input.
+    """
+    n = len(points)
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: list[list[int]] = [[]]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(points[i], points[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(points[j], points[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    for i in range(n):
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = fronts[0]
+    while current:
+        next_front: list[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        if next_front:
+            next_front.sort()
+            fronts.append(next_front)
+        current = next_front
+    return fronts
+
+
+def pareto_front_indices(points: Sequence[Vector]) -> list[int]:
+    """Indices of the non-dominated points (rank-0 front), input order."""
+    if not points:
+        return []
+    return non_dominated_sort(points)[0]
+
+
+def crowding_distance(points: Sequence[Vector], indices: Sequence[int]) -> dict[int, float]:
+    """NSGA-II crowding distance of the points named by ``indices``.
+
+    Boundary points of every objective get ``inf``; interior points sum
+    their normalized neighbor gaps.  Degenerate spans (all equal, or
+    non-finite objectives from infeasible candidates) contribute zero
+    rather than NaN, so selection stays total-orderable.
+    """
+    distance = {i: 0.0 for i in indices}
+    if len(indices) <= 2:
+        return {i: math.inf for i in indices}
+    n_objectives = len(points[indices[0]])
+    for m in range(n_objectives):
+        ordered = sorted(indices, key=lambda i: points[i][m])
+        lo, hi = points[ordered[0]][m], points[ordered[-1]][m]
+        span = hi - lo
+        distance[ordered[0]] = distance[ordered[-1]] = math.inf
+        if not math.isfinite(span) or span <= 0.0:
+            continue
+        for k in range(1, len(ordered) - 1):
+            gap = points[ordered[k + 1]][m] - points[ordered[k - 1]][m]
+            distance[ordered[k]] += gap / span
+    return distance
+
+
+def hypervolume(points: Sequence[Vector], reference: Vector) -> float:
+    """Hypervolume dominated by ``points`` up to the ``reference`` point.
+
+    The standard quality indicator for a front: the Lebesgue measure of
+    the region dominated by at least one point and bounded above by the
+    reference.  Points not strictly better than the reference in every
+    objective contribute nothing.  Computed exactly by recursive slicing
+    on the first objective (fine for the front sizes a DSE run produces).
+    """
+    if not points:
+        return 0.0
+    d = len(reference)
+    for p in points:
+        if len(p) != d:
+            raise ConfigurationError(
+                f"point dimension {len(p)} != reference dimension {d}"
+            )
+    clipped = [tuple(p) for p in points if all(x < r for x, r in zip(p, reference))]
+    if not clipped:
+        return 0.0
+    front = [clipped[i] for i in pareto_front_indices(clipped)]
+    return _hv_recursive(sorted(set(front)), tuple(reference))
+
+
+def _hv_recursive(front: list[tuple[float, ...]], reference: tuple[float, ...]) -> float:
+    """Hypervolume of a mutually non-dominated, sorted, de-duplicated front."""
+    if len(reference) == 1:
+        return reference[0] - min(p[0] for p in front)
+    # Slice along the first objective: between consecutive f0 values the
+    # attained region is the (d-1)-dimensional union of every point at or
+    # left of the slice.
+    volume = 0.0
+    for i, point in enumerate(front):
+        width = (front[i + 1][0] if i + 1 < len(front) else reference[0]) - point[0]
+        if width <= 0.0:
+            continue
+        tails = [p[1:] for p in front[: i + 1]]
+        sub_front = [tails[j] for j in pareto_front_indices(tails)]
+        volume += width * _hv_recursive(sorted(set(sub_front)), reference[1:])
+    return volume
+
+
+__all__ = [
+    "crowding_distance",
+    "dominates",
+    "hypervolume",
+    "non_dominated_sort",
+    "pareto_front_indices",
+]

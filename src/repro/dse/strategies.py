@@ -1,0 +1,295 @@
+"""Search strategies: grid, Latin-hypercube, NSGA-II.
+
+A strategy is an ask/tell iterator over candidate batches:
+
+* :meth:`reset(space, base_seed)` — arm it for one search;
+* :meth:`ask()` — the next batch of candidates (``None`` when done);
+* :meth:`tell(batch, signed)` — the evaluated minimization vectors for
+  the batch just asked (aligned by position).
+
+Strategies are deterministic: for a fixed ``(space, base_seed)`` and
+fixed objective values the sequence of asked batches is always the same.
+The engine leans on this for resume — a restarted search *re-asks* the
+identical candidates and replays their stored objectives, so an
+interrupted run converges to exactly the front an uninterrupted one
+would have found.
+
+The grid strategy enumerates candidates through the same
+:func:`repro.analysis.sweep.grid_points` cartesian product that
+:func:`~repro.analysis.sweep.sweep_grid` uses — one grid implementation
+in the repo, whichever layer asks for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.dse.pareto import crowding_distance, non_dominated_sort
+from repro.dse.space import ParamSpace, lhs_unit
+from repro.errors import ConfigurationError
+
+Candidate = dict[str, float]
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """The ask/tell contract the engine drives."""
+
+    def reset(self, space: ParamSpace, base_seed: int) -> None: ...
+
+    def ask(self) -> list[Candidate] | None: ...
+
+    def tell(
+        self, batch: list[Candidate], signed: list[tuple[float, ...]]
+    ) -> None: ...
+
+    def describe(self) -> dict: ...
+
+
+@dataclass
+class GridStrategy:
+    """Exhaustive cartesian grid — one batch, then done.
+
+    ``levels`` is points per axis (int, or ``{name: int}``); discrete
+    parameters always enumerate their full choice set.  Candidate order
+    is the row-major order of :func:`repro.analysis.sweep.grid_points`.
+    """
+
+    levels: int | dict[str, int] = 3
+    _space: ParamSpace | None = field(default=None, repr=False)
+    _asked: bool = field(default=False, repr=False)
+
+    def reset(self, space: ParamSpace, base_seed: int) -> None:
+        self._space = space
+        self._asked = False
+
+    def ask(self) -> list[Candidate] | None:
+        if self._asked:
+            return None
+        self._asked = True
+        return self._space.grid(self.levels)
+
+    def tell(self, batch, signed) -> None:
+        pass
+
+    def describe(self) -> dict:
+        levels = self.levels
+        return {"name": "grid", "levels": levels if isinstance(levels, int) else dict(levels)}
+
+
+@dataclass
+class LhsStrategy:
+    """One space-filling Latin-hypercube batch of ``n_samples`` candidates."""
+
+    n_samples: int = 32
+    _space: ParamSpace | None = field(default=None, repr=False)
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+    _asked: bool = field(default=False, repr=False)
+
+    def reset(self, space: ParamSpace, base_seed: int) -> None:
+        self._space = space
+        self._rng = np.random.default_rng(np.random.SeedSequence([base_seed, 0x1A5]))
+        self._asked = False
+
+    def ask(self) -> list[Candidate] | None:
+        if self._asked:
+            return None
+        self._asked = True
+        return self._space.sample_lhs(self.n_samples, self._rng)
+
+    def tell(self, batch, signed) -> None:
+        pass
+
+    def describe(self) -> dict:
+        return {"name": "lhs", "n_samples": self.n_samples}
+
+
+@dataclass
+class Nsga2Strategy:
+    """NSGA-II: elitist evolutionary multi-objective search.
+
+    The classic loop (Deb 2002): a Latin-hypercube initial population;
+    each generation breeds ``population`` offspring by binary-tournament
+    selection on (rank, crowding distance), simulated-binary crossover
+    and polynomial mutation in the unit cube; parents and offspring are
+    merged and the best ``population`` survive by non-dominated rank,
+    ties broken by crowding.  Infeasible candidates arrive as all-``inf``
+    vectors, which dominance naturally ranks last.
+
+    Every random draw comes from one generator seeded by ``base_seed``
+    and consumed in a fixed order, so the candidate sequence depends only
+    on ``(space, base_seed)`` and the objective values told back.
+    """
+
+    population: int = 24
+    generations: int = 10
+    crossover_prob: float = 0.9
+    crossover_eta: float = 15.0
+    mutation_prob: float | None = None  # default 1/dimension
+    mutation_eta: float = 20.0
+
+    _space: ParamSpace | None = field(default=None, repr=False)
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+    _generation: int = field(default=0, repr=False)
+    _parents: np.ndarray | None = field(default=None, repr=False)  # unit vectors
+    _parent_objs: list[tuple[float, ...]] | None = field(default=None, repr=False)
+    _pending: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.population < 4 or self.population % 2:
+            raise ConfigurationError(
+                f"population must be even and >= 4, got {self.population}"
+            )
+        if self.generations < 1:
+            raise ConfigurationError(
+                f"generations must be >= 1, got {self.generations}"
+            )
+
+    def reset(self, space: ParamSpace, base_seed: int) -> None:
+        self._space = space
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([base_seed, 0x75A2])
+        )
+        self._generation = 0
+        self._parents = None
+        self._parent_objs = None
+        self._pending = None
+
+    def ask(self) -> list[Candidate] | None:
+        if self._generation >= self.generations:
+            return None
+        if self._parents is None:
+            self._pending = lhs_unit(self._rng, self.population, self._space.dimension)
+        else:
+            self._pending = self._breed()
+        return [self._space.decode(row) for row in self._pending]
+
+    def tell(self, batch, signed) -> None:
+        if self._pending is None:
+            raise ConfigurationError("tell() without a pending ask()")
+        if len(signed) != len(self._pending):
+            raise ConfigurationError(
+                f"told {len(signed)} results for {len(self._pending)} candidates"
+            )
+        if self._parents is None:
+            pool = self._pending
+            pool_objs = list(signed)
+        else:
+            pool = np.vstack([self._parents, self._pending])
+            pool_objs = [*self._parent_objs, *signed]
+        survivors = self._select(pool_objs)
+        self._parents = pool[survivors]
+        self._parent_objs = [pool_objs[i] for i in survivors]
+        self._pending = None
+        self._generation += 1
+
+    # --- NSGA-II internals ------------------------------------------------------------
+
+    def _select(self, objs: list[tuple[float, ...]]) -> list[int]:
+        """Environmental selection: best ``population`` of the pool."""
+        fronts = non_dominated_sort(objs)
+        chosen: list[int] = []
+        for front in fronts:
+            if len(chosen) + len(front) <= self.population:
+                chosen.extend(front)
+            else:
+                crowd = crowding_distance(objs, front)
+                # Fill the remainder by descending crowding; index breaks
+                # ties deterministically.
+                rest = sorted(front, key=lambda i: (-crowd[i], i))
+                chosen.extend(rest[: self.population - len(chosen)])
+            if len(chosen) >= self.population:
+                break
+        return chosen
+
+    def _tournament(self, rank: dict[int, int], crowd: dict[int, float]) -> int:
+        i, j = self._rng.integers(0, self.population, size=2)
+        i, j = int(i), int(j)
+        if rank[i] != rank[j]:
+            return i if rank[i] < rank[j] else j
+        if crowd[i] != crowd[j]:
+            return i if crowd[i] > crowd[j] else j
+        return min(i, j)
+
+    def _breed(self) -> np.ndarray:
+        fronts = non_dominated_sort(self._parent_objs)
+        rank = {i: r for r, front in enumerate(fronts) for i in front}
+        crowd: dict[int, float] = {}
+        for front in fronts:
+            crowd.update(crowding_distance(self._parent_objs, front))
+        children: list[np.ndarray] = []
+        while len(children) < self.population:
+            a = self._parents[self._tournament(rank, crowd)]
+            b = self._parents[self._tournament(rank, crowd)]
+            c1, c2 = self._sbx(a, b)
+            children.append(self._mutate(c1))
+            children.append(self._mutate(c2))
+        return np.vstack(children[: self.population])
+
+    def _sbx(self, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Simulated binary crossover, clipped to the unit cube."""
+        c1, c2 = a.copy(), b.copy()
+        if self._rng.random() > self.crossover_prob:
+            return c1, c2
+        for k in range(len(a)):
+            if self._rng.random() > 0.5 or abs(a[k] - b[k]) < 1e-14:
+                continue
+            u = self._rng.random()
+            if u <= 0.5:
+                beta = (2.0 * u) ** (1.0 / (self.crossover_eta + 1.0))
+            else:
+                beta = (1.0 / (2.0 * (1.0 - u))) ** (1.0 / (self.crossover_eta + 1.0))
+            x1, x2 = min(a[k], b[k]), max(a[k], b[k])
+            c1[k] = 0.5 * ((x1 + x2) - beta * (x2 - x1))
+            c2[k] = 0.5 * ((x1 + x2) + beta * (x2 - x1))
+        return np.clip(c1, 0.0, 1.0), np.clip(c2, 0.0, 1.0)
+
+    def _mutate(self, x: np.ndarray) -> np.ndarray:
+        """Polynomial mutation, clipped to the unit cube."""
+        pm = self.mutation_prob
+        if pm is None:
+            pm = 1.0 / len(x)
+        y = x.copy()
+        for k in range(len(x)):
+            if self._rng.random() >= pm:
+                continue
+            u = self._rng.random()
+            if u < 0.5:
+                delta = (2.0 * u) ** (1.0 / (self.mutation_eta + 1.0)) - 1.0
+            else:
+                delta = 1.0 - (2.0 * (1.0 - u)) ** (1.0 / (self.mutation_eta + 1.0))
+            y[k] = y[k] + delta
+        return np.clip(y, 0.0, 1.0)
+
+    def describe(self) -> dict:
+        return {
+            "name": "nsga2",
+            "population": self.population,
+            "generations": self.generations,
+            "crossover_prob": self.crossover_prob,
+            "crossover_eta": self.crossover_eta,
+            "mutation_prob": self.mutation_prob,
+            "mutation_eta": self.mutation_eta,
+        }
+
+
+def make_strategy(name: str, **options) -> SearchStrategy:
+    """Build a strategy by CLI name (``grid`` | ``lhs`` | ``nsga2``)."""
+    builders = {"grid": GridStrategy, "lhs": LhsStrategy, "nsga2": Nsga2Strategy}
+    if name not in builders:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; expected one of {sorted(builders)}"
+        )
+    return builders[name](**options)
+
+
+__all__ = [
+    "GridStrategy",
+    "LhsStrategy",
+    "Nsga2Strategy",
+    "SearchStrategy",
+    "make_strategy",
+]

@@ -8,10 +8,15 @@ on-disk result cache keyed by a content hash of the inputs.
 """
 
 from repro.runtime.cache import MISS, ResultCache, content_key, stable_token
-from repro.runtime.executor import ParallelExecutor, resolve_n_jobs
+from repro.runtime.executor import (
+    ParallelExecutor,
+    SerialFallbackWarning,
+    resolve_n_jobs,
+)
 from repro.runtime.metrics import ChunkRecord, ProgressHook, RunMetrics, print_progress
 from repro.runtime.seeds import (
     SEED_SCHEMES,
+    derived_seed,
     make_seeds,
     sequential_seeds,
     spawned_seeds,
@@ -25,7 +30,9 @@ __all__ = [
     "ResultCache",
     "RunMetrics",
     "SEED_SCHEMES",
+    "SerialFallbackWarning",
     "content_key",
+    "derived_seed",
     "make_seeds",
     "print_progress",
     "resolve_n_jobs",

@@ -10,8 +10,11 @@ processes.  The contract that everything else in the repo leans on:
   ``[fn(x) for x in items]``, byte for byte the pre-runtime behavior.
 * **Graceful degradation** — if the function or items cannot cross a
   process boundary (closures, lambdas, local classes), the executor
-  falls back to the serial path and records it in the metrics instead of
-  crashing mid-experiment.
+  falls back to the serial path instead of crashing mid-experiment.  The
+  degradation is *loud*: a :class:`SerialFallbackWarning` is emitted,
+  the metrics carry :attr:`RunMetrics.fallback_reason`, and the executor
+  counts every occurrence in :attr:`ParallelExecutor.serial_fallbacks`,
+  so a large sweep cannot quietly lose its parallelism.
 
 Chunking amortizes pickling: items are split into ``chunk_size`` blocks
 (auto-sized to ~4 chunks per worker) and each block round-trips to a
@@ -23,6 +26,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -30,6 +34,10 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.runtime.metrics import ProgressHook, RunMetrics
+
+
+class SerialFallbackWarning(RuntimeWarning):
+    """A parallel map degraded to the serial path (unpicklable work)."""
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -77,22 +85,33 @@ class ParallelExecutor:
     progress: ProgressHook | None = None
     #: Metrics of the most recent ``map`` call.
     last_metrics: RunMetrics | None = field(default=None, repr=False)
+    #: How many ``map`` calls requested processes but degraded to serial.
+    serial_fallbacks: int = 0
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
         """``[fn(x) for x in items]``, possibly across processes."""
         items = list(items)
         n_jobs = resolve_n_jobs(self.n_jobs)
         use_processes = n_jobs > 1 and len(items) > 1
+        fallback_reason = None
         if use_processes and not (_is_picklable(fn) and _is_picklable(items)):
             # A closure or local object cannot cross the process
-            # boundary; degrade to the serial reference path and say so
-            # in the metrics rather than dying mid-run.
+            # boundary; degrade to the serial reference path — but say so
+            # loudly rather than quietly losing the parallelism.
             use_processes = False
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            fallback_reason = (
+                f"evaluator {name!r} (or its items) cannot be pickled across"
+                f" a process boundary; ran serially despite n_jobs={n_jobs}"
+            )
+            self.serial_fallbacks += 1
+            warnings.warn(fallback_reason, SerialFallbackWarning, stacklevel=2)
 
         metrics = RunMetrics(
             total_tasks=len(items),
             n_jobs=n_jobs if use_processes else 1,
             backend="process" if use_processes else "serial",
+            fallback_reason=fallback_reason,
         )
         self.last_metrics = metrics
         if not use_processes:
@@ -155,4 +174,4 @@ class ParallelExecutor:
         return flat
 
 
-__all__ = ["ParallelExecutor", "resolve_n_jobs"]
+__all__ = ["ParallelExecutor", "SerialFallbackWarning", "resolve_n_jobs"]

@@ -44,6 +44,9 @@ class RunMetrics:
     failed_tasks: int = 0
     n_jobs: int = 1
     backend: str = "serial"
+    #: Why a parallel request degraded to the serial path (``None`` when
+    #: the requested backend actually ran).
+    fallback_reason: str | None = None
     started_at: float = field(default_factory=time.perf_counter)
     wall_time: float = 0.0
     chunks: list[ChunkRecord] = field(default_factory=list)
@@ -79,11 +82,17 @@ class RunMetrics:
         return self.completed_tasks / self.total_tasks
 
     def summary(self) -> str:
+        fallback = (
+            f", serial fallback: {self.fallback_reason}"
+            if self.fallback_reason
+            else ""
+        )
         return (
             f"{self.completed_tasks}/{self.total_tasks} tasks"
             f" ({self.backend}, n_jobs={self.n_jobs})"
             f" in {self.wall_time:.2f}s"
             f" ({self.throughput:.1f} tasks/s, {self.failed_tasks} failed)"
+            f"{fallback}"
         )
 
 

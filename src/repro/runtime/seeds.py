@@ -20,6 +20,8 @@ and any completion order produce the same per-task randomness.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -48,6 +50,22 @@ def spawned_seeds(base_seed: int, n: int) -> list[int]:
     return [int(child.generate_state(2, np.uint64)[0]) for child in children]
 
 
+def derived_seed(base_seed: int, token: str) -> int:
+    """One 64-bit seed derived from ``(base_seed, token)``.
+
+    Content-addressed rather than positional: the same token always maps
+    to the same seed under a given base seed, no matter when (or in which
+    order) it is requested.  This is what lets a resumed design-space
+    search replay stored evaluations bit-for-bit — a candidate's
+    randomness depends only on *what* it is, not on where in the search
+    it was first proposed.
+    """
+    digest = hashlib.sha256(token.encode()).digest()
+    words = [int.from_bytes(digest[i : i + 4], "big") for i in range(0, 16, 4)]
+    ss = np.random.SeedSequence([base_seed & 0xFFFFFFFF, *words])
+    return int(ss.generate_state(2, np.uint64)[0])
+
+
 def make_seeds(base_seed: int, n: int, scheme: str = "sequential") -> list[int]:
     """Per-task integer seeds under the named scheme."""
     if scheme == "sequential":
@@ -59,4 +77,10 @@ def make_seeds(base_seed: int, n: int, scheme: str = "sequential") -> list[int]:
     )
 
 
-__all__ = ["SEED_SCHEMES", "make_seeds", "sequential_seeds", "spawned_seeds"]
+__all__ = [
+    "SEED_SCHEMES",
+    "derived_seed",
+    "make_seeds",
+    "sequential_seeds",
+    "spawned_seeds",
+]

@@ -1,0 +1,221 @@
+"""DSE engine: determinism across workers, caching, strategies, evaluators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse import (
+    Fig8Evaluator,
+    GridStrategy,
+    InfeasibleDesign,
+    LhsStrategy,
+    Nsga2Strategy,
+    Objective,
+    ParamSpace,
+    SearchStrategy,
+    SizingEvaluator,
+    Zdt1Evaluator,
+    candidate_seed,
+    continuous,
+    fig8_space,
+    hypervolume,
+    make_strategy,
+    run_dse,
+    sizing_space,
+)
+from repro.analysis import sweep_grid
+from repro.errors import ConfigurationError
+from repro.runtime import ResultCache
+
+
+def _space(d: int = 3) -> ParamSpace:
+    return ParamSpace(tuple(continuous(f"x{i}", 0.0, 1.0) for i in range(d)))
+
+
+def _exact(result) -> list[tuple]:
+    return [
+        (r.key, tuple(sorted(r.params.items())), r.seed, r.feasible,
+         tuple(sorted(r.objectives.items())))
+        for r in result.records
+    ]
+
+
+# --- determinism -----------------------------------------------------------------------
+
+
+def test_bitwise_identical_across_worker_counts():
+    """ISSUE acceptance: fixed seed => identical results for any n_jobs."""
+    kwargs = dict(base_seed=17)
+    serial = run_dse(_space(), Zdt1Evaluator(dimension=3),
+                     Nsga2Strategy(population=8, generations=3), **kwargs)
+    parallel = run_dse(_space(), Zdt1Evaluator(dimension=3),
+                       Nsga2Strategy(population=8, generations=3),
+                       n_jobs=4, **kwargs)
+    assert _exact(serial) == _exact(parallel)
+    assert serial.signed_front() == parallel.signed_front()
+
+
+def test_candidate_seed_depends_on_params_not_order():
+    a = candidate_seed(1, {"x": 0.25, "y": 2.0})
+    assert a == candidate_seed(1, {"y": 2.0, "x": 0.25})  # key order irrelevant
+    assert a != candidate_seed(1, {"x": 0.25, "y": 2.5})  # value matters
+    assert a != candidate_seed(2, {"x": 0.25, "y": 2.0})  # base seed matters
+
+
+def test_repeat_runs_identical():
+    r1 = run_dse(_space(), Zdt1Evaluator(dimension=3), LhsStrategy(n_samples=12), base_seed=3)
+    r2 = run_dse(_space(), Zdt1Evaluator(dimension=3), LhsStrategy(n_samples=12), base_seed=3)
+    assert _exact(r1) == _exact(r2)
+    r3 = run_dse(_space(), Zdt1Evaluator(dimension=3), LhsStrategy(n_samples=12), base_seed=4)
+    assert _exact(r1) != _exact(r3)
+
+
+# --- cache interaction -----------------------------------------------------------------
+
+
+def test_result_cache_serves_second_run(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    kwargs = dict(base_seed=5, cache=cache)
+    first = run_dse(_space(), Zdt1Evaluator(dimension=3),
+                    LhsStrategy(n_samples=10), **kwargs)
+    assert first.n_cache_hits == 0
+    assert first.n_evaluated == 10
+    second = run_dse(_space(), Zdt1Evaluator(dimension=3),
+                     LhsStrategy(n_samples=10), **kwargs)
+    assert second.n_cache_hits == 10
+    assert second.n_evaluated == 0
+    assert _exact(first) == _exact(second)
+
+
+def test_cache_keys_separate_evaluators(tmp_path):
+    """Same candidates, different evaluator config => no cross-contamination."""
+    cache = ResultCache(tmp_path / "cache")
+    r3 = run_dse(_space(), Zdt1Evaluator(dimension=3),
+                 LhsStrategy(n_samples=6), base_seed=5, cache=cache)
+    r4 = run_dse(_space(), Zdt1Evaluator(dimension=2),
+                 LhsStrategy(n_samples=6), base_seed=5, cache=cache)
+    assert r4.n_cache_hits == 0
+    assert _exact(r3) != _exact(r4)
+
+
+# --- strategies ------------------------------------------------------------------------
+
+
+def test_grid_strategy_matches_sweep_grid():
+    """One grid implementation: the strategy enumerates exactly the cells
+    ``analysis.sweep.sweep_grid`` evaluates, in the same order."""
+    space = ParamSpace((continuous("x0", 0.0, 1.0), continuous("x1", 0.0, 2.0)))
+    result = run_dse(space, Zdt1Evaluator(dimension=2), GridStrategy(levels=3))
+    grid = sweep_grid(
+        {"x0": [0.0, 0.5, 1.0], "x1": [0.0, 1.0, 2.0]},
+        lambda point: {},
+    )
+    assert [r.params for r in result.records] == [dict(p) for p in grid.points]
+
+
+def test_make_strategy():
+    assert isinstance(make_strategy("grid", levels=2), GridStrategy)
+    assert isinstance(make_strategy("lhs", n_samples=4), LhsStrategy)
+    assert isinstance(make_strategy("nsga2", population=4, generations=1), Nsga2Strategy)
+    with pytest.raises(ConfigurationError):
+        make_strategy("anneal")
+    for name in ("grid", "lhs", "nsga2"):
+        assert isinstance(make_strategy(name), SearchStrategy)
+
+
+def test_nsga2_rejects_bad_shape():
+    with pytest.raises(ConfigurationError):
+        Nsga2Strategy(population=5, generations=1)  # odd
+    with pytest.raises(ConfigurationError):
+        Nsga2Strategy(population=2, generations=1)  # too small
+    with pytest.raises(ConfigurationError):
+        Nsga2Strategy(population=8, generations=0)
+
+
+def test_nsga2_improves_over_its_initial_population():
+    result = run_dse(_space(4), Zdt1Evaluator(dimension=4),
+                     Nsga2Strategy(population=12, generations=6), base_seed=11)
+    gen0 = [r for r in result.records if r.generation == 0]
+    gen0_front = [
+        (r.objectives["f1"], r.objectives["f2"]) for r in gen0 if r.feasible
+    ]
+    hv0 = hypervolume(gen0_front, (1.5, 10.0))
+    hv_final = result.front_hypervolume((1.5, 10.0))
+    assert hv_final > hv0
+
+
+# --- constraint and infeasibility handling ---------------------------------------------
+
+
+def test_constraint_violators_recorded_without_evaluation():
+    space = ParamSpace(
+        parameters=(continuous("x0", 0.0, 1.0), continuous("x1", 0.0, 1.0)),
+        constraints=("x0 + x1 <= 0.8",),
+    )
+    # GridStrategy filters via space.grid before asking, so exercise LHS,
+    # which deliberately keeps violators in its sample.
+    result = run_dse(space, Zdt1Evaluator(dimension=2), LhsStrategy(n_samples=20))
+    rejected = [r for r in result.records if r.reason == "violates space constraints"]
+    assert rejected, "a 20-point LHS of the unit square must cross x0+x1=0.8"
+    assert all(not r.feasible and r.objectives == {} for r in rejected)
+    assert result.n_evaluated == 20 - len(rejected)
+    # None of them can reach the front.
+    front_keys = {r.key for r in result.front}
+    assert front_keys.isdisjoint({r.key for r in rejected})
+
+
+def test_model_infeasibility_recorded_with_reason():
+    class GateEvaluator:
+        objectives = (Objective("f", "min"),)
+
+        def __call__(self, params, seed):
+            if params["x0"] > 0.5:
+                raise InfeasibleDesign("x0 too large")
+            return {"f": params["x0"]}
+
+    result = run_dse(
+        ParamSpace((continuous("x0", 0.0, 1.0),)),
+        GateEvaluator(),
+        GridStrategy(levels=5),
+    )
+    reasons = {round(r.params["x0"], 2): r.reason for r in result.records}
+    assert reasons == {0.0: "", 0.25: "", 0.5: "", 0.75: "x0 too large", 1.0: "x0 too large"}
+    assert [r.params["x0"] for r in result.front] == [0.0]
+
+
+# --- paper evaluators (single-point smoke; full studies live in the CLI/example) -------
+
+
+def test_fig8_evaluator_paper_point():
+    evaluator = Fig8Evaluator(mc_runs=16)
+    space = fig8_space()
+    params = {"nominal_swing": 0.30, "wire_pitch_um": 0.6}
+    space.validate(params)
+    metrics = evaluator(params, seed=candidate_seed(2013, params))
+    assert metrics["energy_fj_per_bit_per_cm"] == pytest.approx(388, abs=10)
+    assert metrics["bandwidth_density_gbps_per_um"] == pytest.approx(6.83, abs=0.05)
+    assert 0.0 <= metrics["error_probability"] <= evaluator.max_error_probability
+
+
+def test_fig8_evaluator_rejects_dead_design():
+    evaluator = Fig8Evaluator(mc_runs=16)
+    with pytest.raises(InfeasibleDesign):
+        evaluator({"nominal_swing": 0.27, "wire_pitch_um": 0.45}, seed=1)
+
+
+def test_sizing_evaluator_smoke():
+    evaluator = SizingEvaluator()
+    space = sizing_space()
+    params = {
+        "m1_width_um": 5.0,
+        "m2_width_um": 0.3,
+        "nominal_swing": 0.30,
+        "driver_scale": 1.0,
+    }
+    space.validate(params)
+    assert space.feasible(params)
+    metrics = evaluator(params, seed=0)
+    assert metrics["energy_fj_per_bit_per_mm"] > 0
+    assert metrics["min_margin_mv"] > 0
+    names = [o.name for o in evaluator.objectives]
+    assert names == ["energy_fj_per_bit_per_mm", "min_margin_mv"]

@@ -1,0 +1,240 @@
+"""Pareto machinery: dominance, sorting, crowding, hypervolume.
+
+Analytic fronts with known non-dominated sets, hand-computed hypervolume
+reference values, and property tests (via hypothesis) that the rank-0
+front never contains a dominated point and that NSGA-II never *reports*
+one.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (
+    Nsga2Strategy,
+    ParamSpace,
+    Zdt1Evaluator,
+    continuous,
+    crowding_distance,
+    dominates,
+    hypervolume,
+    non_dominated_sort,
+    pareto_front_indices,
+    run_dse,
+    signed_vector,
+)
+from repro.errors import ConfigurationError
+
+
+# --- dominance -------------------------------------------------------------------------
+
+
+def test_dominates_basics():
+    assert dominates((1.0, 1.0), (2.0, 2.0))
+    assert dominates((1.0, 2.0), (1.0, 3.0))  # equal in one, better in other
+    assert not dominates((1.0, 2.0), (2.0, 1.0))  # incomparable
+    assert not dominates((1.0, 1.0), (1.0, 1.0))  # equal points don't dominate
+    assert dominates((1.0, 1.0), (math.inf, math.inf))
+    assert not dominates((math.inf, math.inf), (math.inf, math.inf))
+
+
+def test_dominates_dimension_mismatch():
+    with pytest.raises(ConfigurationError):
+        dominates((1.0,), (1.0, 2.0))
+
+
+# --- non-dominated sort: analytic fronts ----------------------------------------------
+
+
+def test_non_dominated_sort_known_front():
+    # Convex front {(0,4), (1,2), (3,1), (5,0)}; the rest are dominated.
+    points = [
+        (0.0, 4.0),  # front
+        (1.0, 2.0),  # front
+        (3.0, 1.0),  # front
+        (5.0, 0.0),  # front
+        (2.0, 3.0),  # dominated by (1,2)
+        (4.0, 2.0),  # dominated by (3,1)
+        (5.0, 5.0),  # dominated by everything on the front
+    ]
+    fronts = non_dominated_sort(points)
+    assert fronts[0] == [0, 1, 2, 3]
+    assert set(fronts[1]) == {4, 5}
+    assert fronts[2] == [6]
+    assert pareto_front_indices(points) == [0, 1, 2, 3]
+
+
+def test_non_dominated_sort_all_incomparable():
+    # Points on a line f1 + f2 = 1 are mutually non-dominated.
+    points = [(i / 10.0, 1.0 - i / 10.0) for i in range(11)]
+    assert pareto_front_indices(points) == list(range(11))
+
+
+def test_non_dominated_sort_chain():
+    # A strict dominance chain: every point is its own front.
+    points = [(float(i), float(i)) for i in range(5)]
+    fronts = non_dominated_sort(points)
+    assert fronts == [[0], [1], [2], [3], [4]]
+
+
+def test_pareto_front_empty():
+    assert pareto_front_indices([]) == []
+
+
+# --- crowding distance -----------------------------------------------------------------
+
+
+def test_crowding_boundaries_infinite_interior_ordered():
+    points = [(0.0, 4.0), (1.0, 2.0), (3.0, 1.0), (5.0, 0.0)]
+    crowd = crowding_distance(points, [0, 1, 2, 3])
+    assert crowd[0] == math.inf and crowd[3] == math.inf
+    assert 0.0 < crowd[1] < math.inf and 0.0 < crowd[2] < math.inf
+    # Interior distances: hand-computed normalized neighbor gaps.
+    assert crowd[1] == pytest.approx((3 - 0) / 5 + (4 - 1) / 4)
+    assert crowd[2] == pytest.approx((5 - 1) / 5 + (2 - 0) / 4)
+
+
+def test_crowding_two_or_fewer_all_infinite():
+    points = [(0.0, 1.0), (1.0, 0.0)]
+    assert crowding_distance(points, [0, 1]) == {0: math.inf, 1: math.inf}
+
+
+def test_crowding_degenerate_span_no_nan():
+    # All points equal in one objective: that objective contributes 0.
+    points = [(0.0, 1.0), (1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]
+    crowd = crowding_distance(points, [0, 1, 2, 3])
+    assert all(not math.isnan(v) for v in crowd.values())
+
+
+def test_crowding_infinite_objectives_no_nan():
+    points = [(math.inf, math.inf)] * 4
+    crowd = crowding_distance(points, [0, 1, 2, 3])
+    assert all(not math.isnan(v) for v in crowd.values())
+
+
+# --- hypervolume: reference values -----------------------------------------------------
+
+
+def test_hypervolume_single_point():
+    # Box from (1, 1) to (3, 4): 2 x 3.
+    assert hypervolume([(1.0, 1.0)], (3.0, 4.0)) == pytest.approx(6.0)
+
+
+def test_hypervolume_two_point_union():
+    # [1,3]x[2,3] U [2,3]x[1,3] = 2 + 2 - 1.
+    assert hypervolume([(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0)) == pytest.approx(3.0)
+
+
+def test_hypervolume_staircase_reference_value():
+    # Classic staircase: hand-computed 0.25 + 0.0625 + ... against (1,1).
+    points = [(0.25, 0.75), (0.5, 0.5), (0.75, 0.25)]
+    # Sweep: widths 0.25 each; heights 0.25, 0.5, 0.75.
+    expected = 0.25 * 0.25 + 0.25 * 0.5 + 0.25 * 0.75
+    assert hypervolume(points, (1.0, 1.0)) == pytest.approx(expected)
+
+
+def test_hypervolume_dominated_points_do_not_add():
+    base = [(1.0, 2.0), (2.0, 1.0)]
+    with_dominated = base + [(2.5, 2.5), (2.0, 1.5)]
+    assert hypervolume(with_dominated, (3.0, 3.0)) == pytest.approx(
+        hypervolume(base, (3.0, 3.0))
+    )
+
+
+def test_hypervolume_point_outside_reference_contributes_nothing():
+    assert hypervolume([(4.0, 4.0)], (3.0, 3.0)) == 0.0
+    assert hypervolume([(3.0, 1.0)], (3.0, 3.0)) == 0.0  # on the boundary
+
+
+def test_hypervolume_3d_reference_value():
+    # Two cubes [1,2]^3 shifted: points (1,1,2) and (1,2,1) vs ref (2,2,2)
+    # each dominate a 1x1x... region; union hand-computed.
+    # (1,1,2): region [1,2]x[1,2]x... empty in z (2 !< 2) -> clipped out.
+    assert hypervolume([(1.0, 1.0, 2.0)], (2.0, 2.0, 2.0)) == 0.0
+    # (0,0,0) vs ref (1,1,1) is the unit cube.
+    assert hypervolume([(0.0, 0.0, 0.0)], (1.0, 1.0, 1.0)) == pytest.approx(1.0)
+    # Two staircase points in 3D: volumes 1*1*2 U 1*2*1 within [0,?]: use
+    # points (0,0,1), (0,1,0) vs ref (1,2,2): regions 1x2x1 and 1x1x2,
+    # intersection 1x1x1 -> union 4 - 1 = 3.
+    assert hypervolume([(0.0, 0.0, 1.0), (0.0, 1.0, 0.0)], (1.0, 2.0, 2.0)) == pytest.approx(3.0)
+
+
+def test_hypervolume_empty():
+    assert hypervolume([], (1.0, 1.0)) == 0.0
+
+
+def test_hypervolume_dimension_mismatch():
+    with pytest.raises(ConfigurationError):
+        hypervolume([(1.0, 2.0, 3.0)], (1.0, 1.0))
+
+
+# --- property tests --------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0.0, 10.0, allow_nan=False),
+            st.floats(0.0, 10.0, allow_nan=False),
+            st.floats(0.0, 10.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_rank0_front_is_mutually_non_dominated(points):
+    front = pareto_front_indices(points)
+    assert front, "a non-empty set always has a non-dominated point"
+    for i in front:
+        assert not any(dominates(points[j], points[i]) for j in range(len(points)))
+    # Everything outside the front is dominated by someone.
+    for j in set(range(len(points))) - set(front):
+        assert any(dominates(points[i], points[j]) for i in range(len(points)))
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 1.0, allow_nan=False), st.floats(0.0, 1.0, allow_nan=False)),
+        min_size=1,
+        max_size=16,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_hypervolume_monotone_in_points(points):
+    """Adding points never shrinks the dominated region."""
+    ref = (2.0, 2.0)
+    for k in range(1, len(points) + 1):
+        assert hypervolume(points[:k], ref) <= hypervolume(points[: k + 1], ref) + 1e-12
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_property_nsga2_reported_front_never_dominated(seed):
+    """NSGA-II's reported front contains no dominated point, any seed."""
+    space = ParamSpace(tuple(continuous(f"x{i}", 0.0, 1.0) for i in range(3)))
+    result = run_dse(
+        space,
+        Zdt1Evaluator(dimension=3),
+        Nsga2Strategy(population=8, generations=3),
+        base_seed=seed,
+    )
+    signed = result.signed_front()
+    assert signed, "ZDT1 always has feasible points"
+    for i, a in enumerate(signed):
+        assert not any(dominates(b, a) for j, b in enumerate(signed) if j != i)
+    # And the front is exactly the non-dominated subset of all records.
+    all_signed = [
+        signed_vector(result.objectives, r.objectives)
+        for r in result.records
+        if r.feasible
+    ]
+    front_keys = {tuple(v) for v in signed}
+    for v in all_signed:
+        if tuple(v) in front_keys:
+            continue
+        assert any(dominates(w, v) for w in signed)

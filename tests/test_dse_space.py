@@ -1,0 +1,171 @@
+"""ParamSpace: unit-cube mapping, constraints, grids, LHS, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    ParamSpace,
+    Parameter,
+    continuous,
+    discrete,
+    log,
+    space_from_spec,
+)
+from repro.dse.space import lhs_unit, param_from_spec
+from repro.errors import ConfigurationError
+
+
+# --- parameters ------------------------------------------------------------------------
+
+
+def test_continuous_mapping_endpoints_and_midpoint():
+    p = continuous("x", 2.0, 10.0)
+    assert p.from_unit(0.0) == 2.0
+    assert p.from_unit(1.0) == 10.0
+    assert p.from_unit(0.5) == 6.0
+    assert p.to_unit(6.0) == pytest.approx(0.5)
+
+
+def test_log_mapping_is_decade_uniform():
+    p = log("w", 0.1, 10.0)
+    assert p.from_unit(0.0) == pytest.approx(0.1)
+    assert p.from_unit(0.5) == pytest.approx(1.0)
+    assert p.from_unit(1.0) == pytest.approx(10.0)
+    assert p.to_unit(1.0) == pytest.approx(0.5)
+
+
+def test_discrete_mapping_bins():
+    p = discrete("m", [0.15, 0.2, 0.3])
+    assert p.from_unit(0.0) == 0.15
+    assert p.from_unit(0.99) == 0.3
+    assert p.from_unit(1.0) == 0.3  # top edge stays in range
+    assert p.from_unit(0.4) == 0.2
+    assert p.to_unit(0.2) == pytest.approx(0.5)
+    with pytest.raises(ConfigurationError):
+        p.to_unit(0.25)
+
+
+def test_from_unit_clips_out_of_cube():
+    p = continuous("x", 0.0, 1.0)
+    assert p.from_unit(-0.5) == 0.0
+    assert p.from_unit(1.5) == 1.0
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        continuous("x", 1.0, 1.0)  # empty interval
+    with pytest.raises(ConfigurationError):
+        log("x", 0.0, 1.0)  # log needs positive lower
+    with pytest.raises(ConfigurationError):
+        discrete("x", [])  # no choices
+    with pytest.raises(ConfigurationError):
+        continuous("not a name", 0.0, 1.0)  # must be an identifier
+    with pytest.raises(ConfigurationError):
+        Parameter(name="x", kind="mystery", lower=0.0, upper=1.0)
+
+
+def test_parameter_grid():
+    assert continuous("x", 0.0, 4.0).grid(5) == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert discrete("m", [1.0, 2.0]).grid(7) == [1.0, 2.0]  # levels ignored
+    with pytest.raises(ConfigurationError):
+        continuous("x", 0.0, 1.0).grid(1)
+
+
+# --- space -----------------------------------------------------------------------------
+
+
+def _space() -> ParamSpace:
+    return ParamSpace(
+        parameters=(
+            continuous("swing", 0.2, 0.4),
+            log("width", 1.0, 10.0),
+            discrete("m2", [0.15, 0.3]),
+        ),
+        constraints=("width >= 5 * m2",),
+    )
+
+
+def test_decode_encode_roundtrip():
+    space = _space()
+    params = space.decode([0.5, 0.5, 0.9])
+    assert set(params) == {"swing", "width", "m2"}
+    unit = space.encode(params)
+    assert space.decode(unit) == pytest.approx(params)
+
+
+def test_space_validation():
+    with pytest.raises(ConfigurationError):
+        ParamSpace(parameters=())
+    with pytest.raises(ConfigurationError):
+        ParamSpace(parameters=(continuous("x", 0, 1), continuous("x", 0, 2)))
+    with pytest.raises(ConfigurationError):
+        ParamSpace(parameters=(continuous("x", 0, 1),), constraints=("x >=",))
+    space = _space()
+    with pytest.raises(ConfigurationError):
+        space.validate({"swing": 0.3})  # missing keys
+    with pytest.raises(ConfigurationError):
+        space.decode([0.5])  # wrong dimension
+
+
+def test_constraints_gate_feasibility():
+    space = _space()
+    assert space.feasible({"swing": 0.3, "width": 5.0, "m2": 0.3})
+    assert not space.feasible({"swing": 0.3, "width": 1.0, "m2": 0.3})
+
+
+def test_constraint_helpers_available():
+    space = ParamSpace(
+        parameters=(continuous("x", -1.0, 1.0),),
+        constraints=("abs(x) <= 0.5", "math.cos(x) > 0"),
+    )
+    assert space.feasible({"x": -0.25})
+    assert not space.feasible({"x": 0.75})
+
+
+def test_constraint_bad_name_raises_not_false():
+    space = ParamSpace(
+        parameters=(continuous("x", 0.0, 1.0),), constraints=("y > 0",)
+    )
+    with pytest.raises(ConfigurationError, match="failed to evaluate"):
+        space.feasible({"x": 0.5})
+
+
+def test_space_grid_drops_infeasible_cells():
+    space = _space()
+    points = space.grid(3)
+    assert points, "grid must not be empty"
+    # 3 * 3 * 2 cells minus the constraint-violating ones.
+    assert len(points) < 18
+    assert all(space.feasible(p) for p in points)
+    # Per-axis levels mapping.
+    fine = space.grid({"swing": 5, "width": 2, "m2": 99})
+    swings = {p["swing"] for p in fine}
+    assert len(swings) == 5
+
+
+def test_lhs_unit_is_stratified_and_deterministic():
+    rng = np.random.default_rng(0)
+    u = lhs_unit(rng, 10, 3)
+    assert u.shape == (10, 3)
+    for j in range(3):
+        bins = np.floor(u[:, j] * 10).astype(int)
+        assert sorted(bins) == list(range(10))  # exactly one point per bin
+    u2 = lhs_unit(np.random.default_rng(0), 10, 3)
+    assert np.array_equal(u, u2)
+
+
+def test_sample_lhs_keeps_violators():
+    space = _space()
+    rng = np.random.default_rng(1)
+    samples = space.sample_lhs(16, rng)
+    assert len(samples) == 16  # violators included, engine records them
+
+
+def test_spec_roundtrip():
+    space = _space()
+    rebuilt = space_from_spec(space.spec())
+    assert rebuilt == space
+    p = discrete("m", [1.0, 2.0])
+    assert param_from_spec(p.spec()) == p

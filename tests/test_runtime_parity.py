@@ -14,13 +14,15 @@ import pickle
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.analysis.sweep import sweep
+from repro.analysis.sweep import grid_points, sweep, sweep_grid
 from repro.mc import run_monte_carlo
 from repro.runtime import (
     MISS,
     ParallelExecutor,
     ResultCache,
+    SerialFallbackWarning,
     content_key,
+    derived_seed,
     make_seeds,
     resolve_n_jobs,
     sequential_seeds,
@@ -80,10 +82,22 @@ def test_executor_progress_hook_fires_per_chunk():
 def test_executor_unpicklable_fn_falls_back_to_serial():
     captured = []  # closure => not picklable
     ex = ParallelExecutor(n_jobs=4)
-    result = ex.map(lambda x: captured.append(x) or x + 1, [1, 2, 3])
+    with pytest.warns(SerialFallbackWarning, match="cannot be pickled"):
+        result = ex.map(lambda x: captured.append(x) or x + 1, [1, 2, 3])
     assert result == [2, 3, 4]
     assert ex.last_metrics.backend == "serial"
     assert captured == [1, 2, 3]
+    # The fallback is observable after the fact, not just at warn time.
+    assert ex.serial_fallbacks == 1
+    assert ex.last_metrics.fallback_reason is not None
+    assert "serial fallback" in ex.last_metrics.summary()
+
+
+def test_executor_requested_serial_is_not_a_fallback():
+    ex = ParallelExecutor(n_jobs=1)
+    ex.map(lambda x: x, [1, 2])  # closure is fine on the serial path
+    assert ex.serial_fallbacks == 0
+    assert ex.last_metrics.fallback_reason is None
 
 
 def test_executor_rejects_bad_chunk_size():
@@ -167,9 +181,10 @@ def test_sweep_parallel_parity(n_jobs):
     assert parallel.metrics["y"] == (1.0, 4.0, 9.0, 16.0, 25.0)
 
 
-def test_sweep_closure_evaluator_still_works_with_n_jobs():
+def test_sweep_closure_evaluator_warns_and_still_works_with_n_jobs():
     offset = 10.0  # closure capture => serial fallback, same answer
-    result = sweep("x", [1.0, 2.0], lambda x: {"y": x + offset}, n_jobs=4)
+    with pytest.warns(SerialFallbackWarning):
+        result = sweep("x", [1.0, 2.0], lambda x: {"y": x + offset}, n_jobs=4)
     assert result.metrics["y"] == (11.0, 12.0)
 
 
@@ -178,6 +193,79 @@ def test_sweep_validation_unchanged():
         sweep("x", [], _metrics_of)
     with pytest.raises(ConfigurationError):
         sweep("x", [1.0, 2.0], lambda x: {"y": 1.0} if x < 2 else {"z": 1.0})
+
+
+# --- N-dimensional grid sweep -----------------------------------------------------------
+
+
+def _metrics_of_point(point):
+    return {"s": point["a"] + point["b"], "p": point["a"] * point["b"]}
+
+
+def test_grid_points_row_major_order():
+    points = grid_points({"a": [1.0, 2.0], "b": [10.0, 20.0, 30.0]})
+    assert points == [
+        {"a": 1.0, "b": 10.0},
+        {"a": 1.0, "b": 20.0},
+        {"a": 1.0, "b": 30.0},
+        {"a": 2.0, "b": 10.0},
+        {"a": 2.0, "b": 20.0},
+        {"a": 2.0, "b": 30.0},
+    ]
+
+
+def test_grid_points_validation():
+    with pytest.raises(ConfigurationError):
+        grid_points({})
+    with pytest.raises(ConfigurationError):
+        grid_points({"a": [1.0], "b": []})
+
+
+@pytest.mark.parametrize("n_jobs", N_JOBS_GRID)
+def test_sweep_grid_parallel_parity(n_jobs):
+    axes = {"a": [1.0, 2.0, 3.0], "b": [10.0, 20.0]}
+    serial = sweep_grid(axes, _metrics_of_point, n_jobs=1)
+    parallel = sweep_grid(axes, _metrics_of_point, n_jobs=n_jobs)
+    assert parallel == serial
+    assert serial.parameters == ("a", "b")
+    assert serial.metrics["s"] == (11.0, 21.0, 12.0, 22.0, 13.0, 23.0)
+
+
+def test_sweep_grid_rows_and_series():
+    result = sweep_grid({"a": [1.0, 2.0], "b": [3.0]}, _metrics_of_point)
+    assert result.headers() == ["a", "b", "p", "s"]
+    assert result.rows() == [[1.0, 3.0, 3.0, 4.0], [2.0, 3.0, 6.0, 5.0]]
+    assert result.series("p") == [({"a": 1.0, "b": 3.0}, 3.0), ({"a": 2.0, "b": 3.0}, 6.0)]
+    with pytest.raises(ConfigurationError):
+        result.series("nope")
+
+
+def test_sweep_grid_closure_evaluator_warns_and_still_works():
+    scale = 2.0
+    with pytest.warns(SerialFallbackWarning):
+        result = sweep_grid(
+            {"a": [1.0, 2.0]}, lambda p: {"y": p["a"] * scale}, n_jobs=4
+        )
+    assert result.metrics["y"] == (2.0, 4.0)
+
+
+def test_sweep_grid_key_mismatch_raises():
+    with pytest.raises(ConfigurationError):
+        sweep_grid(
+            {"a": [1.0, 2.0]},
+            lambda p: {"y": 1.0} if p["a"] < 2 else {"z": 1.0},
+            n_jobs=1,
+        )
+
+
+# --- derived seeds ----------------------------------------------------------------------
+
+
+def test_derived_seed_deterministic_and_token_sensitive():
+    assert derived_seed(1, "tok") == derived_seed(1, "tok")
+    assert derived_seed(1, "tok") != derived_seed(2, "tok")
+    assert derived_seed(1, "tok") != derived_seed(1, "tok2")
+    assert 0 <= derived_seed(1, "tok") < 2**64
 
 
 # --- cache ------------------------------------------------------------------------------
