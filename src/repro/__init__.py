@@ -12,6 +12,8 @@ The package is organized bottom-up:
 * :mod:`repro.mc` — Monte Carlo variation analysis and BER estimation.
 * :mod:`repro.energy` — energy/power models, prior-work baselines, router.
 * :mod:`repro.noc` — cycle-level mesh NoC simulator (the system context).
+* :mod:`repro.fault` — cross-layer fault injection and link reliability:
+  circuit-derived BER, protection protocols, effective-energy campaigns.
 * :mod:`repro.analysis` — sweeps, report tables, per-experiment drivers.
 * :mod:`repro.dse` — multi-objective design-space exploration (Pareto
   search with a resumable run store) over all of the above.

@@ -29,3 +29,11 @@ class RoutingError(NocError):
 
 class ProtocolError(NocError):
     """Flow-control protocol invariant violated (credit underflow, VC misuse)."""
+
+
+class LivelockError(ProtocolError):
+    """The network stopped making forward progress (retransmission storm,
+    disabled-link partition, saturation livelock).  Subclasses
+    :class:`ProtocolError` so callers that treated failure-to-drain as a
+    protocol failure keep working; the message carries a per-component
+    diagnostic of where traffic is stuck."""

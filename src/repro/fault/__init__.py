@@ -1,0 +1,90 @@
+"""Cross-layer fault injection and link reliability.
+
+This package closes the loop the paper leaves open between its two
+headline claims: the *circuit* claim (BER < 1e-9 at 0.8 V on a low-swing
+SRLR link) and the *system* context (a mesh NoC assumed to have perfect
+links).  It provides:
+
+* **error sources** (:mod:`repro.fault.models`) — per-link fault models
+  driven by the circuit layer: swing/corner-dependent BER derived through
+  the same margin machinery as :mod:`repro.mc.ber`, supply-droop and
+  crosstalk-burst episodes, and permanent link death.  Every link draws
+  from its own content-addressed RNG stream
+  (:func:`repro.runtime.seeds.derived_seed`), so campaigns are bitwise
+  reproducible for any worker count.
+* **injection** (:mod:`repro.fault.injector`) — a :class:`FaultLayer`
+  that attaches to a :class:`repro.noc.NocSimulator`, corrupting or
+  dropping flits on the wire per the active model.
+* **protection** (:mod:`repro.fault.protection`,
+  :mod:`repro.fault.reroute`) — CRC detection with link-level ack/nack
+  retransmission, end-to-end packet retry with timeout/backoff, and
+  link-disable with adaptive reroute around dead links.
+* **accounting** (:mod:`repro.fault.energy`) — retransmissions, CRC
+  logic and ack traffic priced through :mod:`repro.energy`, yielding the
+  *effective* fJ/bit/mm of protected traffic.
+* **campaigns** (:mod:`repro.fault.campaign`) — sweeps of raw BER x
+  protection scheme over :class:`repro.runtime.ParallelExecutor`.
+
+See ``docs/FAULTS.md`` for the model, protocol and reproducibility
+details, and ``scripts/run_fault_campaign.py`` for the study CLI.
+"""
+
+from repro.fault.campaign import (
+    FaultCampaignConfig,
+    FaultCampaignResult,
+    FaultPointResult,
+    format_fault_report,
+    protection_crossover,
+    run_fault_campaign,
+)
+from repro.fault.energy import (
+    FaultEnergyReport,
+    ProtectionCosts,
+    price_fault_run,
+)
+from repro.fault.injector import FaultChannel, FaultLayer, FaultStats, LinkFaultCounters
+from repro.fault.models import (
+    FAULT_MODELS,
+    CircuitBer,
+    CompositeFault,
+    CrosstalkBurst,
+    DeadLinks,
+    FaultModel,
+    NoFaults,
+    SupplyDroop,
+    UniformBer,
+    circuit_ber,
+    make_fault_model,
+)
+from repro.fault.protection import PROTOCOLS, ProtectionConfig
+from repro.fault.reroute import AdaptiveRoutingTable
+
+__all__ = [
+    "AdaptiveRoutingTable",
+    "CircuitBer",
+    "CompositeFault",
+    "CrosstalkBurst",
+    "DeadLinks",
+    "FAULT_MODELS",
+    "FaultCampaignConfig",
+    "FaultCampaignResult",
+    "FaultChannel",
+    "FaultEnergyReport",
+    "FaultLayer",
+    "FaultModel",
+    "FaultPointResult",
+    "FaultStats",
+    "LinkFaultCounters",
+    "NoFaults",
+    "PROTOCOLS",
+    "ProtectionConfig",
+    "ProtectionCosts",
+    "SupplyDroop",
+    "UniformBer",
+    "circuit_ber",
+    "format_fault_report",
+    "make_fault_model",
+    "price_fault_run",
+    "protection_crossover",
+    "run_fault_campaign",
+]

@@ -1,0 +1,327 @@
+"""The fault campaign: effective fJ/bit/mm and goodput vs raw link BER.
+
+One campaign sweeps a grid of (raw per-bit error rate) x (protection
+scheme), running the cycle-level NoC under fault injection at each point
+and reporting, per point:
+
+* **goodput** — intact (packet, destination) deliveries per node per
+  cycle in the measurement window (end-to-end points count *completed
+  transfers*, since a retried packet's delivery record carries the retry
+  injection cycle);
+* **effective fJ/bit/mm** — total energy including protection overheads
+  divided by intact payload bit-mm (:mod:`repro.fault.energy`);
+* raw protocol counters and per-link Clopper-Pearson BER bounds
+  (:func:`repro.mc.ber.ber_upper_bound_many`) recovered from the
+  injected error counts — closing the loop back to the circuit-layer
+  measurement methodology.
+
+Reproducibility contract: every RNG stream is derived with
+:func:`repro.runtime.seeds.derived_seed` from the campaign seed and a
+content token (link identity, campaign point), so per-link fault counts
+and all summary statistics are bitwise identical for ``--jobs 1`` and
+``--jobs N``.  The worker is a module-level function over picklable
+frozen configs, so :class:`repro.runtime.ParallelExecutor` runs it in
+processes without a serial fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, LivelockError
+from repro.fault.energy import ProtectionCosts, price_fault_run
+from repro.fault.injector import FaultLayer
+from repro.fault.models import UniformBer
+from repro.fault.protection import PROTOCOLS, ProtectionConfig
+from repro.mc.ber import ber_upper_bound_many
+from repro.noc.simulator import NocSimulator
+from repro.noc.topology import MeshTopology
+from repro.noc.traffic import PATTERNS, SyntheticTraffic
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.seeds import derived_seed
+
+
+@dataclass(frozen=True)
+class FaultCampaignConfig:
+    """Grid and simulation parameters of one fault campaign."""
+
+    k: int = 4
+    injection_rate: float = 0.05
+    pattern: str = "uniform"
+    size_flits: int = 2
+    warmup: int = 100
+    measure: int = 400
+    drain_limit: int = 20_000
+    stall_window: int = 500
+    bers: tuple[float, ...] = (1e-6, 1e-4, 1e-3, 1e-2)
+    protocols: tuple[str, ...] = PROTOCOLS
+    flit_bits: int = 64
+    datapath: str = "srlr"
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ConfigurationError(f"k must be >= 2, got {self.k}")
+        if not 0.0 < self.injection_rate <= 1.0:
+            raise ConfigurationError(
+                f"injection_rate must lie in (0, 1], got {self.injection_rate}"
+            )
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(
+                f"unknown pattern {self.pattern!r}; choose from {PATTERNS}"
+            )
+        if not self.bers:
+            raise ConfigurationError("campaign needs at least one BER point")
+        for ber in self.bers:
+            if not 0.0 <= ber <= 1.0:
+                raise ConfigurationError(f"ber must lie in [0, 1], got {ber}")
+        unknown = set(self.protocols) - set(PROTOCOLS)
+        if unknown or not self.protocols:
+            raise ConfigurationError(
+                f"protocols must be a non-empty subset of {PROTOCOLS}"
+            )
+
+    def tasks(self) -> list[tuple["FaultCampaignConfig", float, str]]:
+        return [
+            (self, ber, protocol)
+            for ber in self.bers
+            for protocol in self.protocols
+        ]
+
+
+@dataclass(frozen=True)
+class FaultPointResult:
+    """Summary of one (BER, protocol) campaign point.
+
+    Deliberately free of packet ids and timestamps: every field is a
+    pure function of (config, ber, protocol), which is what makes the
+    jobs-parity acceptance test meaningful.
+    """
+
+    ber: float
+    protocol: str
+    delivered: int
+    clean_delivered: int
+    corrupted_delivered: int
+    goodput: float
+    avg_latency: float
+    effective_fj_per_bit_mm: float
+    overhead_fraction: float
+    raw_faults: int
+    retransmissions: int
+    crc_giveups: int
+    flits_dropped: int
+    links_disabled: int
+    undeliverable_packets: int
+    packet_retries: int
+    completed_transfers: int
+    failed_transfers: int
+    #: (link token, faulty attempts, transmitted flits), sorted by token.
+    per_link_errors: tuple[tuple[str, int, int], ...]
+    #: 95% Clopper-Pearson upper BER bound per link (same order).
+    per_link_ber_bounds: tuple[float, ...]
+    #: Set when the run aborted in a livelock; counters are partial.
+    livelocked: bool = False
+
+
+def _evaluate_point(
+    task: tuple[FaultCampaignConfig, float, str]
+) -> FaultPointResult:
+    """Run one campaign point (module-level: picklable for workers)."""
+    config, ber, protocol = task
+    # The traffic stream is shared across protocols at a BER point (same
+    # derived seed), so scheme comparisons see identical offered load.
+    sim_seed = derived_seed(config.seed, f"fault/campaign/traffic/{config.k}")
+    traffic = SyntheticTraffic(
+        MeshTopology(config.k),
+        config.injection_rate,
+        config.pattern,
+        size_flits=config.size_flits,
+        seed=sim_seed,
+    )
+    sim = NocSimulator(config.k, traffic=traffic, seed=sim_seed)
+    protection = ProtectionConfig(protocol=protocol)
+    layer = FaultLayer(
+        UniformBer(ber),
+        protection,
+        seed=derived_seed(config.seed, f"fault/campaign/ber/{ber:.9e}"),
+        flit_bits=config.flit_bits,
+    ).attach(sim)
+
+    livelocked = False
+    try:
+        sim.run(
+            warmup=config.warmup,
+            measure=config.measure,
+            drain_limit=config.drain_limit,
+            stall_window=config.stall_window,
+        )
+    except LivelockError:
+        livelocked = True
+
+    stats, fstats = sim.stats, layer.stats
+    window = config.measure
+    n_nodes = config.k * config.k
+
+    if protocol == "e2e":
+        # Completed transfers whose first injection fell in the window.
+        records = [
+            r
+            for r in fstats.transfer_records
+            if stats.measure_start <= r.first_inject < stats.measure_end
+        ]
+        clean = sum(len(r.dests) for r in records)
+        latencies = [r.latency for r in records]
+        useful = [(r.src, d) for r in records for d in r.dests]
+    else:
+        measured = stats.clean_measured()
+        clean = len(measured)
+        latencies = [r.latency for r in measured]
+        useful = None
+
+    report = price_fault_run(
+        stats,
+        fstats,
+        sim.topology,
+        protection,
+        size_flits=config.size_flits,
+        datapath=config.datapath,
+        n_cycles=sim.cycle,
+        useful_deliveries=useful,
+    )
+    counts = fstats.per_link_error_counts()
+    tokens = sorted(counts)
+    errors = [counts[t][0] for t in tokens]
+    transmitted = [max(counts[t][1], 1) for t in tokens]
+    bounds = ber_upper_bound_many(errors, transmitted)
+    return FaultPointResult(
+        ber=ber,
+        protocol=protocol,
+        delivered=stats.delivered_count,
+        clean_delivered=clean,
+        corrupted_delivered=stats.corrupted_deliveries,
+        goodput=clean / (window * n_nodes),
+        avg_latency=(
+            sum(latencies) / len(latencies) if latencies else float("nan")
+        ),
+        effective_fj_per_bit_mm=report.effective_fj_per_bit_mm,
+        overhead_fraction=report.overhead_fraction,
+        raw_faults=fstats.raw_faults,
+        retransmissions=fstats.retransmissions,
+        crc_giveups=fstats.crc_giveups,
+        flits_dropped=fstats.flits_dropped,
+        links_disabled=fstats.links_disabled,
+        undeliverable_packets=fstats.undeliverable_packets,
+        packet_retries=fstats.packet_retries,
+        completed_transfers=fstats.completed_transfers,
+        failed_transfers=fstats.failed_transfers,
+        per_link_errors=tuple(
+            (t, counts[t][0], counts[t][1]) for t in tokens
+        ),
+        per_link_ber_bounds=tuple(float(b) for b in bounds),
+        livelocked=livelocked,
+    )
+
+
+@dataclass(frozen=True)
+class FaultCampaignResult:
+    """All points of one campaign, in task order."""
+
+    config: FaultCampaignConfig
+    points: tuple[FaultPointResult, ...]
+
+    def point(self, ber: float, protocol: str) -> FaultPointResult:
+        for p in self.points:
+            if p.ber == ber and p.protocol == protocol:
+                return p
+        raise ConfigurationError(f"no campaign point ({ber}, {protocol!r})")
+
+    def best_protocol(self, ber: float) -> str:
+        """Protection scheme with the lowest effective energy at ``ber``."""
+        candidates = [p for p in self.points if p.ber == ber]
+        if not candidates:
+            raise ConfigurationError(f"no campaign points at ber={ber}")
+        return min(candidates, key=lambda p: p.effective_fj_per_bit_mm).protocol
+
+
+def run_fault_campaign(
+    config: FaultCampaignConfig | None = None,
+    n_jobs: int | None = 1,
+    executor: ParallelExecutor | None = None,
+) -> FaultCampaignResult:
+    """Evaluate the full (BER x protocol) grid, optionally in parallel."""
+    config = config or FaultCampaignConfig()
+    executor = executor or ParallelExecutor(n_jobs=n_jobs)
+    points = executor.map(_evaluate_point, config.tasks())
+    return FaultCampaignResult(config=config, points=tuple(points))
+
+
+def protection_crossover(
+    result: FaultCampaignResult, a: str, b: str
+) -> float | None:
+    """Lowest swept BER at which scheme ``a`` beats ``b`` on energy.
+
+    The headline comparison: raw links ("none") win at vanishing BER —
+    protection is pure overhead — and lose once corrupted deliveries
+    erode the useful bit-mm.  Returns None if ``a`` never wins.
+    """
+    for protocol in (a, b):
+        if protocol not in result.config.protocols:
+            raise ConfigurationError(f"{protocol!r} was not part of the campaign")
+    for ber in sorted(result.config.bers):
+        pa = result.point(ber, a)
+        pb = result.point(ber, b)
+        if pa.effective_fj_per_bit_mm < pb.effective_fj_per_bit_mm:
+            return ber
+    return None
+
+
+def format_fault_report(result: FaultCampaignResult) -> str:
+    """Human-readable campaign table (the CLI's output)."""
+    config = result.config
+    lines = [
+        f"fault campaign: {config.k}x{config.k} mesh, "
+        f"{config.pattern} @ {config.injection_rate} flits/node/cycle, "
+        f"{config.size_flits}-flit packets, seed {config.seed}",
+        "",
+        f"{'BER':>9}  {'protocol':<8} {'goodput':>8} {'clean':>6} "
+        f"{'eff fJ/b/mm':>11} {'ovhd':>5} {'retx':>6} {'giveup':>6} "
+        f"{'drop':>5} {'dead':>4} {'retry':>5} {'fail':>4}",
+    ]
+    for p in result.points:
+        eff = (
+            f"{p.effective_fj_per_bit_mm:11.1f}"
+            if p.effective_fj_per_bit_mm != float("inf")
+            else f"{'inf':>11}"
+        )
+        flag = " LIVELOCK" if p.livelocked else ""
+        lines.append(
+            f"{p.ber:9.1e}  {p.protocol:<8} {p.goodput:8.4f} "
+            f"{p.clean_delivered:6d} {eff} {p.overhead_fraction:5.2f} "
+            f"{p.retransmissions:6d} {p.crc_giveups:6d} "
+            f"{p.flits_dropped:5d} {p.links_disabled:4d} "
+            f"{p.packet_retries:5d} {p.failed_transfers:4d}{flag}"
+        )
+    lines.append("")
+    for ber in sorted(config.bers):
+        lines.append(
+            f"best protection at BER {ber:.1e}: {result.best_protocol(ber)}"
+        )
+    if "none" in config.protocols:
+        for protocol in config.protocols:
+            if protocol == "none":
+                continue
+            crossover = protection_crossover(result, protocol, "none")
+            where = f"BER >= {crossover:.1e}" if crossover is not None else "never"
+            lines.append(f"{protocol} beats raw links: {where}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "FaultCampaignConfig",
+    "FaultCampaignResult",
+    "FaultPointResult",
+    "format_fault_report",
+    "protection_crossover",
+    "run_fault_campaign",
+]

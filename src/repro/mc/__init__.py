@@ -3,6 +3,7 @@
 from repro.mc.ber import (
     BerMeasurement,
     ber_upper_bound,
+    ber_upper_bound_many,
     ber_vs_rate,
     measure_ber,
     q_factor_ber,
@@ -42,6 +43,7 @@ __all__ = [
     "SwingSweep",
     "SwingSweepPoint",
     "ber_upper_bound",
+    "ber_upper_bound_many",
     "ber_vs_rate",
     "default_stress_pattern",
     "design_variants",

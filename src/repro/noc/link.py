@@ -4,15 +4,26 @@ A link carries flits with a fixed latency in cycles.  Physically this is
 the 1 mm wire the SRLR drives; the cycle-level simulator only needs the
 latency and the traversal count (the energy model prices each traversal
 with the circuit-level per-bit energy).
+
+A link may optionally carry a *fault channel*
+(:class:`repro.fault.injector.FaultChannel`): when attached, every
+traversal consults the channel, which can corrupt the flit, delay it by
+link-level retransmissions, or mark the packet for drop-absorption at the
+far end.  Without a channel (the default) the behavior is bit-for-bit the
+ideal wire the rest of the repo was built on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.noc.packet import Flit
 from repro.noc.topology import NodeId, Port
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fault.injector import FaultChannel
 
 
 @dataclass
@@ -32,15 +43,26 @@ class Link:
     latency: int = 1
     traversals: int = field(default=0)
     _in_flight: list[tuple[int, Flit, int]] = field(default_factory=list)
+    #: Optional fault channel (attached by the fault layer); None = ideal.
+    channel: "FaultChannel | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.latency < 1:
             raise ConfigurationError(f"link latency must be >= 1, got {self.latency}")
 
+    @property
+    def token(self) -> str:
+        """Stable content-addressed identity of this link (for seeds)."""
+        return f"{self.src[0]},{self.src[1]}->{self.dst.node[0]},{self.dst.node[1]}"
+
     def send(self, flit: Flit, vc: int, cycle: int) -> None:
         """Put a flit on the wire at ``cycle``."""
         self.traversals += 1
-        self._in_flight.append((cycle + self.latency, flit, vc))
+        if self.channel is None:
+            self._in_flight.append((cycle + self.latency, flit, vc))
+            return
+        arrival, flit = self.channel.transmit(self, flit, cycle)
+        self._in_flight.append((arrival, flit, vc))
 
     def arrivals(self, cycle: int) -> list[tuple[Flit, int]]:
         """Flits landing at the far end this cycle, as (flit, vc)."""

@@ -104,6 +104,10 @@ class Flit:
     seq: int
     flit_type: FlitType
     dests: frozenset[NodeId]
+    #: Payload integrity: set by the fault layer when a link traversal
+    #: flipped bits the active protection did not repair.  The header is
+    #: modeled as separately protected, so a corrupted flit still routes.
+    corrupted: bool = False
 
     @property
     def is_head(self) -> bool:
@@ -120,7 +124,11 @@ class Flit:
         if not dests:
             raise ConfigurationError("branch needs at least one destination")
         return Flit(
-            packet=self.packet, seq=self.seq, flit_type=self.flit_type, dests=dests
+            packet=self.packet,
+            seq=self.seq,
+            flit_type=self.flit_type,
+            dests=dests,
+            corrupted=self.corrupted,
         )
 
 

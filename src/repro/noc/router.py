@@ -111,6 +111,13 @@ class Router:
         #: upstream is the NIC.
         self.upstream: dict[Port, OutputPort] = {}
         self.crossbar = Crossbar()
+        #: Optional fault layer (set by FaultLayer.attach): receives
+        #: delivery/discard events for reliability bookkeeping.
+        self.fault_layer = None
+        #: Optional routing override ``(topology, node, flit) -> partition``
+        #: used for adaptive reroute around disabled links; None = the
+        #: default dimension-order :func:`route_ports`.
+        self.route_fn = None
         self._staged: list[tuple[Flit, Port, int]] = []
         self._branch_state: dict[tuple[Port, int], _BranchState] = {}
         self._sa_in_ptr: dict[Port, int] = {port: 0 for port in Port}
@@ -181,7 +188,7 @@ class Router:
             return flit  # multicast is single-flit by construction
         if self.node not in flit.dests or in_port == Port.LOCAL:
             return flit
-        partition = route_ports(self.topology, self.node, flit)
+        partition = self._route(flit)
         straight = OPPOSITE.get(in_port)
         if straight is None or straight not in partition:
             return flit
@@ -191,11 +198,21 @@ class Router:
             flit.packet.inject_cycle,
             cycle,
             via_tap=True,
+            src=flit.packet.src,
+            corrupted=flit.corrupted,
         )
+        if self.fault_layer is not None:
+            self.fault_layer.on_delivery(flit, self.node, cycle, flit.corrupted)
         remaining = flit.dests - {self.node}
         if not remaining:
             return None
         return flit.branch(frozenset(remaining))
+
+    def _route(self, flit: Flit) -> dict[Port, frozenset[NodeId]]:
+        """Partition a flit's destinations by output port (overridable)."""
+        if self.route_fn is not None:
+            return self.route_fn(self.topology, self.node, flit)
+        return route_ports(self.topology, self.node, flit)
 
     # --- route/branch state -----------------------------------------------------------
 
@@ -211,7 +228,7 @@ class Router:
             return None
         state = self._branch_state.get(key)
         if state is None or state.flit_id != id(front):
-            partition = route_ports(self.topology, self.node, front)
+            partition = self._route(front)
             branches = sorted(partition.items(), key=lambda kv: int(kv[0]))
             state = _BranchState(flit_id=id(front), branches=branches)
             self._branch_state[key] = state
@@ -372,19 +389,41 @@ class Router:
         if front is None:
             raise ProtocolError("ejecting a missing flit")
         if dests != frozenset({self.node}):
-            raise ProtocolError(f"LOCAL branch with foreign dests {dests}")
+            if self.fault_layer is None:
+                raise ProtocolError(f"LOCAL branch with foreign dests {dests}")
+            # Adaptive reroute escape hatch: a disabled-link partition made
+            # these destinations unreachable, so the flit is discarded here
+            # (counted, never recorded as a delivery) instead of wedging
+            # the network.
+            self.stats.ejections += 1
+            if front.is_head and not front.is_tail:
+                vc.out_port = Port.LOCAL
+            self.fault_layer.on_undeliverable(front, self.node)
+            self._retire_branch(in_port, vc_idx, Port.LOCAL)
+            return
         self.stats.ejections += 1
         if front.is_head and not front.is_tail:
             # Multi-flit packet ejecting here: body/tail follow the worm.
             vc.out_port = Port.LOCAL
         if front.is_tail:
+            corrupted = front.corrupted
+            if self.fault_layer is not None:
+                # Packet-level integrity: a corrupted body flit spoils the
+                # whole packet even when the tail traversed cleanly.
+                corrupted = corrupted or self.fault_layer.packet_corrupted(
+                    front.packet
+                )
             self.stats.record_delivery(
                 front.packet.packet_id,
                 self.node,
                 front.packet.inject_cycle,
                 cycle,
                 via_tap=False,
+                src=front.packet.src,
+                corrupted=corrupted,
             )
+            if self.fault_layer is not None:
+                self.fault_layer.on_delivery(front, self.node, cycle, corrupted)
         self._retire_branch(in_port, vc_idx, Port.LOCAL)
 
     def _retire_branch(self, in_port: Port, vc_idx: int, out_port: Port) -> None:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, LivelockError, ProtocolError
 from repro.noc.link import Link, LinkEnd
 from repro.noc.packet import Flit, Packet
 from repro.noc.router import NocConfig, Router
@@ -131,6 +131,9 @@ class NocSimulator:
             for node in self.topology.nodes()
         }
         self.cycle = 0
+        #: Optional fault-injection layer (set by ``FaultLayer.attach``).
+        #: None keeps every hook below inert — the fault-free fast path.
+        self.fault_layer = None
 
     # --- main loop -----------------------------------------------------------------------
 
@@ -139,15 +142,23 @@ class NocSimulator:
         cycle = self.cycle
         ordered_nodes = sorted(self.routers)
 
+        if self.fault_layer is not None:
+            self.fault_layer.begin_cycle(cycle)
+
         for link in self.links:
             for flit, vc in link.arrivals(cycle):
-                self.routers[link.dst.node].stage(flit, link.dst.port, vc)
+                if link.channel is not None and link.channel.absorbs(flit):
+                    self._absorb(link, flit, vc)
+                else:
+                    self.routers[link.dst.node].stage(flit, link.dst.port, vc)
 
         for node in ordered_nodes:
             self.routers[node].accept(cycle)
 
         for packet in self.traffic.packets_for_cycle(cycle):
             self.nics[packet.src].offer(packet)
+            if self.fault_layer is not None:
+                self.fault_layer.on_offer(packet, cycle)
 
         for node in ordered_nodes:
             self.nics[node].inject(cycle)
@@ -161,17 +172,28 @@ class NocSimulator:
         self.cycle += 1
 
     def run(
-        self, warmup: int = 200, measure: int = 600, drain_limit: int = 4000
+        self,
+        warmup: int = 200,
+        measure: int = 600,
+        drain_limit: int = 4000,
+        stall_window: int = 500,
     ) -> NocStats:
         """Warm up, measure, then drain measured packets.
 
-        Raises :class:`ProtocolError` if the network fails to drain within
-        ``drain_limit`` cycles after the measurement window — with XY
-        routing and correct flow control that indicates a protocol bug or
-        genuine saturation-level livelock, both worth failing loudly on.
+        Raises :class:`LivelockError` (a :class:`ProtocolError`) if the
+        network fails to drain within ``drain_limit`` cycles after the
+        measurement window, or earlier if no component makes forward
+        progress for ``stall_window`` consecutive drain cycles with no
+        event scheduled (a credit deadlock, a retransmission storm, or a
+        disabled-link partition — the diagnostic says which components
+        are wedged).  With XY routing, correct flow control, and no fault
+        layer, either indicates a protocol bug or genuine
+        saturation-level livelock, both worth failing loudly on.
         """
-        if warmup < 0 or measure <= 0 or drain_limit < 0:
-            raise ConfigurationError("invalid warmup/measure/drain_limit")
+        if warmup < 0 or measure <= 0 or drain_limit < 0 or stall_window < 1:
+            raise ConfigurationError(
+                "invalid warmup/measure/drain_limit/stall_window"
+            )
         self.stats.measure_start = warmup
         self.stats.measure_end = warmup + measure
         for _ in range(warmup + measure):
@@ -179,19 +201,51 @@ class NocSimulator:
 
         # Stop generating, drain what's in flight.
         rate, self.traffic.injection_rate = self.traffic.injection_rate, 0.0
-        for _ in range(drain_limit):
-            if not self._network_busy():
-                break
-            self.step()
-        self.traffic.injection_rate = rate
-        if self._network_busy():
-            raise ProtocolError(
-                f"network failed to drain within {drain_limit} cycles "
-                f"({self.stats.delivered_count} measured deliveries so far)"
-            )
+        try:
+            last_signature = None
+            stalled_for = 0
+            for _ in range(drain_limit):
+                if not self._network_busy():
+                    break
+                self.step()
+                signature = self._progress_signature()
+                if signature != last_signature:
+                    last_signature = signature
+                    stalled_for = 0
+                    continue
+                stalled_for += 1
+                if (
+                    stalled_for >= stall_window
+                    and self._next_scheduled_event() is None
+                ):
+                    raise LivelockError(
+                        f"no forward progress for {stalled_for} drain cycles "
+                        f"and no event scheduled; {self._drain_diagnostic()}"
+                    )
+            if self._network_busy():
+                raise LivelockError(
+                    f"network failed to drain within {drain_limit} cycles "
+                    f"({self.stats.delivered_count} measured deliveries so "
+                    f"far); {self._drain_diagnostic()}"
+                )
+        finally:
+            self.traffic.injection_rate = rate
         return self.stats
 
     # --- drain bookkeeping ------------------------------------------------------------
+
+    def _absorb(self, link: Link, flit: Flit, vc: int) -> None:
+        """Receiver-side absorption of a dropped flit.
+
+        The flit is discarded instead of buffered, but its flow-control
+        lifecycle completes exactly as a delivery's would: the upstream
+        credit flows back, and the tail releases the VC grant — so drops
+        never leak credits or wedge a worm.
+        """
+        upstream = self.routers[link.dst.node].upstream[link.dst.port]
+        upstream.return_credit(vc)
+        if flit.is_tail:
+            upstream.release(vc)
 
     def _network_busy(self) -> bool:
         if any(link.busy for link in self.links):
@@ -205,7 +259,79 @@ class NocSimulator:
             for port in router.inputs.values():
                 if port.occupancy:
                     return True
+        if self.fault_layer is not None and self.fault_layer.busy():
+            return True
         return False
+
+    def _progress_signature(self) -> tuple[int, ...]:
+        """Monotone counters that change iff some flit moved this cycle."""
+        s = self.stats
+        signature = (
+            s.buffer_writes,
+            s.buffer_reads,
+            s.injected_flits,
+            s.ejections,
+            s.tap_deliveries,
+            len(s.deliveries),
+        )
+        if self.fault_layer is not None:
+            signature = signature + self.fault_layer.progress_token()
+        return signature
+
+    def _next_scheduled_event(self) -> int | None:
+        """Earliest future cycle something is guaranteed to happen.
+
+        A stalled signature is not a livelock while a flit is still in
+        flight (e.g. serving a long retransmission delay) or a protocol
+        timer is pending — those resolve on their own.
+        """
+        candidates = [
+            t for link in self.links for t, _f, _vc in link._in_flight
+        ]
+        if self.fault_layer is not None:
+            event = self.fault_layer.next_event_cycle()
+            if event is not None:
+                candidates.append(event)
+        return min(candidates) if candidates else None
+
+    def _drain_diagnostic(self) -> str:
+        """Which components are wedged, for the livelock error message."""
+        busy_links = [link for link in self.links if link.busy]
+        backlog = sum(nic.backlog for nic in self.nics.values())
+        staged = sum(len(r._staged) for r in self.routers.values())
+        buffered = sum(
+            port.occupancy
+            for r in self.routers.values()
+            for port in r.inputs.values()
+        )
+        parts = [
+            f"cycle={self.cycle}",
+            f"links_in_flight={len(busy_links)}",
+            f"buffered_flits={buffered}",
+            f"staged_flits={staged}",
+            f"nic_backlog={backlog}",
+        ]
+        if busy_links:
+            worst = sorted(busy_links, key=lambda l: -len(l._in_flight))[:3]
+            parts.append(
+                "busiest_links=" + ",".join(l.token for l in worst)
+            )
+        layer = self.fault_layer
+        if layer is not None:
+            s = layer.stats
+            parts.append(
+                f"fault(retransmissions={s.retransmissions}, "
+                f"giveups={s.crc_giveups}, dropped={s.flits_dropped}, "
+                f"links_disabled={s.links_disabled}, "
+                f"undeliverable={s.undeliverable_flits})"
+            )
+            if layer.tracker is not None:
+                parts.append(
+                    f"e2e(outstanding={len(layer.tracker._transfers)}, "
+                    f"acks_in_flight={len(layer.tracker._acks)}, "
+                    f"retries={s.packet_retries})"
+                )
+        return " ".join(parts)
 
 
 __all__ = ["Nic", "NocSimulator"]

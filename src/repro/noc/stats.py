@@ -22,6 +22,11 @@ class DeliveryRecord:
     inject_cycle: int
     deliver_cycle: int
     via_tap: bool
+    #: Source node, recorded when known (None in legacy call paths).
+    src: tuple[int, int] | None = None
+    #: Payload arrived corrupted (fault layer active, protection did not
+    #: repair it before ejection).
+    corrupted: bool = False
 
     @property
     def latency(self) -> int:
@@ -41,6 +46,8 @@ class NocStats:
     bypassed_flits: int = 0
     injected_flits: int = 0
     injected_packets: int = 0
+    #: Deliveries whose payload arrived corrupted (0 without a fault layer).
+    corrupted_deliveries: int = 0
     deliveries: list[DeliveryRecord] = field(default_factory=list)
     #: Cycle range over which statistics count (set by the simulator).
     measure_start: int = 0
@@ -53,12 +60,19 @@ class NocStats:
         inject_cycle: int,
         deliver_cycle: int,
         via_tap: bool,
+        src: tuple[int, int] | None = None,
+        corrupted: bool = False,
     ) -> None:
         self.deliveries.append(
-            DeliveryRecord(packet_id, dest, inject_cycle, deliver_cycle, via_tap)
+            DeliveryRecord(
+                packet_id, dest, inject_cycle, deliver_cycle, via_tap,
+                src=src, corrupted=corrupted,
+            )
         )
         if via_tap:
             self.tap_deliveries += 1
+        if corrupted:
+            self.corrupted_deliveries += 1
 
     # --- summary metrics -------------------------------------------------------------
 
@@ -72,6 +86,15 @@ class NocStats:
     @property
     def delivered_count(self) -> int:
         return len(self._measured())
+
+    @property
+    def clean_delivered_count(self) -> int:
+        """Measured deliveries whose payload arrived intact."""
+        return sum(1 for d in self._measured() if not d.corrupted)
+
+    def clean_measured(self) -> list[DeliveryRecord]:
+        """Intact measured deliveries (the 'useful work' of a fault run)."""
+        return [d for d in self._measured() if not d.corrupted]
 
     @property
     def average_latency(self) -> float:

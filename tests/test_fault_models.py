@@ -1,0 +1,209 @@
+"""Fault models: error probabilities, episodes, determinism — and the
+vectorized Clopper-Pearson bound they feed."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fault.models import (
+    FAULT_MODELS,
+    CircuitBer,
+    CompositeFault,
+    CrosstalkBurst,
+    DeadLinks,
+    NoFaults,
+    SupplyDroop,
+    UniformBer,
+    circuit_ber,
+    flit_error_probability,
+    make_fault_model,
+)
+from repro.mc.ber import ber_upper_bound, ber_upper_bound_many
+
+
+class TestFlitErrorProbability:
+    def test_tiny_ber_stays_exact(self):
+        # Naive 1-(1-ber)^n would cancel to 0.0 at this magnitude.
+        p = flit_error_probability(1e-15, 64)
+        assert p == pytest.approx(64e-15, rel=1e-9)
+        assert p > 0.0
+
+    def test_certain_error(self):
+        assert flit_error_probability(1.0, 64) == 1.0
+
+    def test_zero_ber(self):
+        assert flit_error_probability(0.0, 64) == 0.0
+
+    def test_matches_naive_at_moderate_ber(self):
+        p = flit_error_probability(1e-3, 64)
+        assert p == pytest.approx(1.0 - (1.0 - 1e-3) ** 64, rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            flit_error_probability(-0.1, 64)
+        with pytest.raises(ConfigurationError):
+            flit_error_probability(1e-3, 0)
+
+
+class TestModels:
+    def test_no_faults_state(self):
+        state = NoFaults().make_state("0,0->0,1", 7)
+        assert state.flit_error_probability(100, 64) == 0.0
+        assert not state.drops(100)
+
+    def test_uniform_ber_state(self):
+        state = UniformBer(1e-4).make_state("0,0->0,1", 7)
+        expected = flit_error_probability(1e-4, 64)
+        assert state.flit_error_probability(0, 64) == expected
+        assert state.flit_error_probability(5000, 64) == expected
+
+    def test_uniform_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformBer(1.5)
+
+    def test_droop_episodes_elevate_and_are_deterministic(self):
+        model = SupplyDroop(
+            base_ber=0.0,
+            droop_ber=0.5,
+            mean_interval_cycles=50.0,
+            mean_duration_cycles=20.0,
+        )
+        probs_a = [
+            model.make_state("t", 7).flit_error_probability(c, 64)
+            for c in range(2000)
+        ]
+        probs_b = [
+            model.make_state("t", 7).flit_error_probability(c, 64)
+            for c in range(2000)
+        ]
+        assert probs_a == probs_b  # same (seed, token) -> same schedule
+        elevated = sum(1 for p in probs_a if p > 0.0)
+        assert 0 < elevated < 2000  # episodes happen but don't dominate
+
+    def test_droop_differs_per_link(self):
+        model = SupplyDroop(
+            base_ber=0.0, droop_ber=0.5,
+            mean_interval_cycles=50.0, mean_duration_cycles=20.0,
+        )
+        a = [model.make_state("a", 7).flit_error_probability(c, 64) for c in range(500)]
+        b = [model.make_state("b", 7).flit_error_probability(c, 64) for c in range(500)]
+        assert a != b
+
+    def test_burst_combines_with_base(self):
+        state = CrosstalkBurst(burst_probability=0.1, base_ber=1e-3).make_state("t", 7)
+        p_base = flit_error_probability(1e-3, 64)
+        expected = 1.0 - (1.0 - p_base) * 0.9
+        assert state.flit_error_probability(0, 64) == pytest.approx(expected)
+
+    def test_dead_garbage_and_drop(self):
+        garbage = DeadLinks(victims=("t",), fail_cycle=10).make_state("t", 7)
+        assert garbage.flit_error_probability(5, 64) == 0.0
+        assert garbage.flit_error_probability(10, 64) == 1.0
+        assert not garbage.drops(10)
+        drop = DeadLinks(victims=("t",), fail_cycle=10, mode="drop").make_state("t", 7)
+        assert drop.flit_error_probability(10, 64) == 0.0
+        assert not drop.drops(9)
+        assert drop.drops(10)
+
+    def test_dead_unknown_victim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeadLinks(victims=("nope",)).make_states(["a", "b"], 7)
+
+    def test_dead_random_victims_deterministic(self):
+        tokens = [f"l{i}" for i in range(10)]
+        model = DeadLinks(n_random=3, fail_cycle=0)
+        dead_a = {
+            t for t, s in model.make_states(tokens, 7).items() if s.drops(0) or
+            s.flit_error_probability(0, 64) == 1.0
+        }
+        dead_b = {
+            t for t, s in model.make_states(tokens, 7).items() if s.drops(0) or
+            s.flit_error_probability(0, 64) == 1.0
+        }
+        assert dead_a == dead_b
+        assert len(dead_a) == 3
+        # A different seed picks a different victim set (overwhelmingly).
+        dead_c = {
+            t for t, s in model.make_states(tokens, 8).items() if s.drops(0) or
+            s.flit_error_probability(0, 64) == 1.0
+        }
+        assert dead_a != dead_c
+
+    def test_composite_independence(self):
+        model = CompositeFault((UniformBer(1e-3), CrosstalkBurst(0.1, 0.0)))
+        state = model.make_state("t", 7)
+        p1 = flit_error_probability(1e-3, 64)
+        expected = 1.0 - (1.0 - p1) * 0.9
+        assert state.flit_error_probability(0, 64) == pytest.approx(expected)
+
+    def test_make_fault_model(self):
+        for key in FAULT_MODELS:
+            model = make_fault_model(key)
+            assert model.key.startswith(key) or key == "none"
+        with pytest.raises(ConfigurationError):
+            make_fault_model("bogus")
+
+
+class TestCircuitBer:
+    def test_nominal_swing_meets_paper_regime(self):
+        # The paper claims BER < 1e-9 at the nominal design point.
+        assert circuit_ber(0.30) < 1e-9
+
+    def test_lower_swing_is_worse(self):
+        assert circuit_ber(0.18) > circuit_ber(0.30)
+
+    def test_bad_corner_is_no_better(self):
+        assert circuit_ber(0.20, corner="SS") >= circuit_ber(0.20, corner="FF")
+
+    def test_unknown_corner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            circuit_ber(0.30, corner="XX")
+
+    def test_model_state_uses_derived_ber(self):
+        model = CircuitBer(swing=0.30)
+        state = model.make_state("t", 7)
+        expected = flit_error_probability(model.ber, 64)
+        assert state.flit_error_probability(0, 64) == expected
+
+
+class TestBerUpperBoundMany:
+    """Satellite: vectorized bound must match the scalar exactly."""
+
+    def test_matches_scalar_elementwise(self):
+        rng = np.random.default_rng(3)
+        transmitted = rng.integers(1, 10_000, size=50)
+        errors = (transmitted * rng.random(50) * 0.3).astype(np.int64)
+        bounds = ber_upper_bound_many(errors, transmitted)
+        for e, t, b in zip(errors, transmitted, bounds):
+            assert b == pytest.approx(ber_upper_bound(int(e), int(t)), abs=0.0)
+
+    def test_saturated_entries_are_exactly_one(self):
+        bounds = ber_upper_bound_many([5, 0, 3], [5, 10, 3])
+        assert bounds[0] == 1.0
+        assert bounds[2] == 1.0
+        assert bounds[1] == pytest.approx(ber_upper_bound(0, 10))
+
+    def test_zero_errors_rule_of_three(self):
+        bound = ber_upper_bound_many([0], [1_000_000])[0]
+        assert bound == pytest.approx(-math.log(0.05) / 1_000_000, rel=0.01)
+
+    def test_confidence_passthrough(self):
+        a = ber_upper_bound_many([2], [1000], confidence=0.99)[0]
+        assert a == pytest.approx(ber_upper_bound(2, 1000, confidence=0.99))
+
+    def test_empty_input(self):
+        assert ber_upper_bound_many([], []).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ber_upper_bound_many([1, 2], [10])
+        with pytest.raises(ConfigurationError):
+            ber_upper_bound_many([1], [0])
+        with pytest.raises(ConfigurationError):
+            ber_upper_bound_many([11], [10])
+        with pytest.raises(ConfigurationError):
+            ber_upper_bound_many([1], [10], confidence=1.0)
