@@ -10,12 +10,17 @@ publication-fidelity sizes.  ``--jobs N`` fans the Monte Carlo blocks
 (E4, E12) across N worker processes — results are identical for every N
 — and ``--cache`` reuses previously computed MC blocks from an on-disk
 content-addressed cache (default ``results/.mc-cache``).
+
+A failing experiment no longer aborts the suite: the remaining
+experiments still run, a failure table is printed at the end, and the
+process exits nonzero so CI notices.
 """
 
 from __future__ import annotations
 
 import sys
 import time
+import traceback
 from pathlib import Path
 
 from repro.analysis import (
@@ -87,36 +92,51 @@ def main() -> None:
     mc_kwargs = {"n_jobs": n_jobs, "cache": cache, "progress": progress}
 
     runs = [
-        lambda: e1_fig4_waveforms(),
-        lambda: e2_pulse_width_dynamics(),
-        lambda: e3_driver_modes(),
-        lambda: e4_fig6_montecarlo(swings=SWINGS, n_runs=MC_RUNS, **mc_kwargs),
-        lambda: e5_headline(),
-        lambda: e6_fig8_energy_density(),
-        lambda: e7_table1(),
-        lambda: e8_bias_overhead(),
-        lambda: e9_router_power(),
-        lambda: e10_noc_breakdown(),
-        lambda: e11_multicast(),
-        lambda: e11_multicast_simulated(),
-        lambda: e12_ablation(n_runs=MC_RUNS, **mc_kwargs),
-        lambda: e13_sizing(),
-        lambda: e14_noc_traffic(),
-        lambda: e15_crosstalk(),
-        lambda: e16_bypass(),
-        lambda: e17_bus(),
-        lambda: e18_temperature(),
-        lambda: e19_system_studies(),
-        lambda: e20_routing(),
-        lambda: e21_tech_scaling(),
-        lambda: e22_equalized_baseline(),
+        ("E1", lambda: e1_fig4_waveforms()),
+        ("E2", lambda: e2_pulse_width_dynamics()),
+        ("E3", lambda: e3_driver_modes()),
+        ("E4", lambda: e4_fig6_montecarlo(swings=SWINGS, n_runs=MC_RUNS, **mc_kwargs)),
+        ("E5", lambda: e5_headline()),
+        ("E6", lambda: e6_fig8_energy_density()),
+        ("E7", lambda: e7_table1()),
+        ("E8", lambda: e8_bias_overhead()),
+        ("E9", lambda: e9_router_power()),
+        ("E10", lambda: e10_noc_breakdown()),
+        ("E11", lambda: e11_multicast()),
+        ("E11b", lambda: e11_multicast_simulated()),
+        ("E12", lambda: e12_ablation(n_runs=MC_RUNS, **mc_kwargs)),
+        ("E13", lambda: e13_sizing()),
+        ("E14", lambda: e14_noc_traffic()),
+        ("E15", lambda: e15_crosstalk()),
+        ("E16", lambda: e16_bypass()),
+        ("E17", lambda: e17_bus()),
+        ("E18", lambda: e18_temperature()),
+        ("E19", lambda: e19_system_studies()),
+        ("E20", lambda: e20_routing()),
+        ("E21", lambda: e21_tech_scaling()),
+        ("E22", lambda: e22_equalized_baseline()),
     ]
 
     t_start = time.time()
     combined: list[str] = []
-    for run in runs:
+    # (label, exception summary, elapsed) per failed experiment: one bad
+    # experiment must not abort the other 22 — the suite continues,
+    # reports a failure table, and exits nonzero at the end.
+    failures: list[tuple[str, str, float]] = []
+    for label, run in runs:
         t0 = time.time()
-        result = run()
+        try:
+            result = run()
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            elapsed = time.time() - t0
+            failures.append((label, f"{type(exc).__name__}: {exc}", elapsed))
+            header = f"=== {label}: FAILED ({elapsed:.1f}s) ==="
+            print(header, file=sys.stderr)
+            traceback.print_exc()
+            combined.append(header + "\n" + traceback.format_exc() + "\n")
+            continue
         elapsed = time.time() - t0
         header = f"=== {result.experiment_id}: {result.title} ({elapsed:.1f}s) ==="
         print(header)
@@ -128,10 +148,17 @@ def main() -> None:
     calibration = calibration_report()
     combined.append("=== calibration ===\n" + calibration + "\n")
     (outdir / "REPORT.txt").write_text("\n".join(combined))
-    print(f"wrote {len(runs) + 1} reports under {outdir}/ "
+    n_ok = len(runs) - len(failures)
+    print(f"wrote {n_ok + 1} reports under {outdir}/ "
           f"in {time.time() - t_start:.1f}s (jobs={n_jobs})")
     if cache is not None:
         print(cache.summary())
+    if failures:
+        print(f"\n{len(failures)}/{len(runs)} experiments FAILED:", file=sys.stderr)
+        width = max(len(label) for label, _, _ in failures)
+        for label, summary, elapsed in failures:
+            print(f"  {label:<{width}}  {summary}  ({elapsed:.1f}s)", file=sys.stderr)
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

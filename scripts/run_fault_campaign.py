@@ -16,6 +16,16 @@ Typical invocations::
     python scripts/run_fault_campaign.py --bers 1e-6 1e-4 1e-2
     python scripts/run_fault_campaign.py --protocols none crc
     python scripts/run_fault_campaign.py --smoke              # CI-sized run
+    python scripts/run_fault_campaign.py --checkpoint run.jsonl
+    python scripts/run_fault_campaign.py --checkpoint run.jsonl --resume
+    python scripts/run_fault_campaign.py --task-timeout 300 --retries 2
+
+``--checkpoint`` persists each completed point to a crash-safe JSONL
+store; after a kill (Ctrl-C, OOM, SIGKILL) re-run with ``--resume`` to
+compute only the missing points — the result is bitwise identical to an
+uninterrupted run.  ``--task-timeout``/``--retries`` opt points into the
+resilient task layer (docs/RESILIENCE.md): a point that exhausts its
+budget is quarantined and reported instead of aborting the campaign.
 
 For a fixed ``--seed``, per-link fault counts and every summary
 statistic are bitwise identical for any ``--jobs`` value (fault RNG
@@ -34,6 +44,7 @@ from repro.fault import (
     format_fault_report,
     run_fault_campaign,
 )
+from repro.runtime import ResilienceConfig
 
 
 def parse_args(argv: list[str]) -> argparse.Namespace:
@@ -69,7 +80,23 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI-sized run: 3x3 mesh, short windows, "
                         "one high BER, every protocol once")
-    return parser.parse_args(argv)
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="crash-safe JSONL store: each completed point "
+                        "is persisted durably as it lands")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue a checkpoint written by the same "
+                        "configuration, computing only missing points")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                        help="per-point soft wall-clock timeout in seconds "
+                        "(enables the resilient task layer)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry budget per point after a failure "
+                        "(enables the resilient task layer; default 2 "
+                        "when --task-timeout is set)")
+    args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    return args
 
 
 def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
@@ -102,11 +129,26 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
     )
 
 
+def build_resilience(args: argparse.Namespace) -> "ResilienceConfig | None":
+    if args.task_timeout is None and args.retries is None:
+        return None
+    return ResilienceConfig(
+        timeout=args.task_timeout,
+        max_retries=args.retries if args.retries is not None else 2,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = parse_args(sys.argv[1:] if argv is None else argv)
     config = build_config(args)
     t0 = time.time()
-    result = run_fault_campaign(config, n_jobs=args.jobs)
+    result = run_fault_campaign(
+        config,
+        n_jobs=args.jobs,
+        resilience=build_resilience(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     print(format_fault_report(result))
     livelocked = [p for p in result.points if p.livelocked]
     if livelocked:
@@ -115,6 +157,13 @@ def main(argv: list[str] | None = None) -> int:
             "(partial counters; see docs/FAULTS.md)"
         )
     print(f"\n{len(result.points)} points, wall time {time.time() - t0:.1f}s")
+    if result.failures:
+        print(
+            f"{len(result.failures)} point(s) exhausted their retry budget "
+            "and were quarantined (see table above)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

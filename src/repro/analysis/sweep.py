@@ -6,16 +6,33 @@ their evaluations through :class:`repro.runtime.ParallelExecutor`, and
 :func:`grid_points` — the one grid enumeration in the repo — is shared
 with :class:`repro.dse.strategies.GridStrategy` so grid semantics cannot
 drift between sweeps and design-space searches.
+
+Both sweeps also speak the resilient-execution dialect: ``resilience=``
+opts points into timeouts/retries/quarantine (a quarantined point fills
+its metric slots with ``nan`` and lands in ``result.failures``), and
+``checkpoint=``/``resume=`` persist each completed point durably so an
+interrupted sweep resumes to the bitwise result of an uninterrupted one
+(see docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro.errors import ConfigurationError
-from repro.runtime import ParallelExecutor, ProgressHook
+from repro.errors import ConfigurationError, ExecutionError
+from repro.runtime import (
+    CheckpointStore,
+    ParallelExecutor,
+    ProgressHook,
+    ResilienceConfig,
+    TaskFailure,
+    callable_token,
+    open_checkpoint,
+)
 
 
 @dataclass(frozen=True)
@@ -25,6 +42,9 @@ class SweepResult:
     parameter: str
     values: tuple[float, ...]
     metrics: dict[str, tuple[float, ...]]
+    #: Points whose evaluation exhausted its retry budget (non-strict
+    #: resilience); their slots in every series hold ``nan``.
+    failures: tuple[TaskFailure, ...] = ()
 
     def series(self, metric: str) -> list[tuple[float, float]]:
         if metric not in self.metrics:
@@ -52,6 +72,9 @@ def sweep(
     n_jobs: int | None = 1,
     executor: ParallelExecutor | None = None,
     progress: ProgressHook | None = None,
+    resilience: ResilienceConfig | None = None,
+    checkpoint: str | Path | CheckpointStore | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Evaluate ``evaluate`` at each value; collect named metrics.
 
@@ -63,30 +86,129 @@ def sweep(
     position, identically for every worker count; evaluators that cannot
     cross a process boundary (closures) run on the serial path and emit a
     :class:`repro.runtime.SerialFallbackWarning` saying so.
+
+    ``checkpoint``/``resume`` persist completed points to a crash-safe
+    JSONL store and replay them on restart; ``resilience`` opts points
+    into the fault-tolerant task layer (see module docstring).
     """
     if not values:
         raise ConfigurationError("values must not be empty")
-    executor = executor or ParallelExecutor(n_jobs=n_jobs, progress=progress)
-    evaluated = executor.map(evaluate, list(values))
+    config = {
+        "kind": "sweep/v1",
+        "parameter": parameter,
+        "values": [float(v) for v in values],
+        "evaluator": callable_token(evaluate),
+    }
+    evaluated, failures = _evaluate_points(
+        list(values),
+        evaluate,
+        config,
+        n_jobs=n_jobs,
+        executor=executor,
+        progress=progress,
+        resilience=resilience,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
     return SweepResult(
         parameter=parameter,
         values=tuple(float(v) for v in values),
         metrics=_collect_metrics(values, evaluated),
+        failures=tuple(failures),
     )
 
 
+def _evaluate_points(
+    points: list,
+    evaluate: Callable,
+    config: dict,
+    n_jobs: int | None,
+    executor: ParallelExecutor | None,
+    progress: ProgressHook | None,
+    resilience: ResilienceConfig | None,
+    checkpoint: str | Path | CheckpointStore | None,
+    resume: bool,
+) -> tuple[list, list[TaskFailure]]:
+    """Shared sweep body: checkpoint replay + resilient parallel map.
+
+    Returns the per-point results in point order (metric dicts, with
+    :class:`TaskFailure` in quarantined slots) plus the failure records.
+    """
+    store = open_checkpoint(checkpoint, config, resume)
+    done: dict[int, dict] = {}
+    if store is not None:
+        done = {int(k): p for k, p in store.items()}
+    pending = [(i, point) for i, point in enumerate(points) if i not in done]
+
+    computed: dict[int, object] = {}
+    if pending:
+        executor = executor or ParallelExecutor(
+            n_jobs=n_jobs, progress=progress, resilience=resilience
+        )
+        on_result = None
+        if store is not None:
+
+            def on_result(indices: list[int], block: list) -> None:
+                for j, value in zip(indices, block):
+                    if not isinstance(value, TaskFailure):
+                        store.append(str(pending[j][0]), value)
+
+        results = executor.map(
+            evaluate, [point for _, point in pending], on_result=on_result
+        )
+        for (i, _), value in zip(pending, results):
+            computed[i] = value
+    if store is not None and not isinstance(checkpoint, CheckpointStore):
+        store.close()
+
+    evaluated: list = []
+    failures: list[TaskFailure] = []
+    for i in range(len(points)):
+        value = done.get(i, computed.get(i))
+        if isinstance(value, TaskFailure):
+            value = TaskFailure(
+                index=i,
+                error_type=value.error_type,
+                message=value.message,
+                traceback=value.traceback,
+                attempts=value.attempts,
+                kind=value.kind,
+            )
+            failures.append(value)
+        evaluated.append(value)
+    return evaluated, failures
+
+
 def _collect_metrics(
-    labels: Sequence[object], evaluated: Sequence[Mapping[str, float]]
+    labels: Sequence[object], evaluated: Sequence[object]
 ) -> dict[str, tuple[float, ...]]:
-    """Transpose per-point metric dicts into named series, validating keys."""
-    collected: dict[str, list[float]] = {}
+    """Transpose per-point metric dicts into named series, validating keys.
+
+    A :class:`TaskFailure` slot (quarantined point) contributes ``nan``
+    for every metric; a sweep where *every* point failed has no metric
+    keys to report and raises.
+    """
     keys: set[str] | None = None
-    for label, metrics in zip(labels, evaluated):
-        if keys is None:
+    for metrics in evaluated:
+        if not isinstance(metrics, TaskFailure):
             keys = set(metrics)
+            break
+    if keys is None:
+        raise ExecutionError(
+            "every sweep point failed"
+            + (
+                f"; first: {evaluated[0].summary()}"
+                if evaluated and isinstance(evaluated[0], TaskFailure)
+                else ""
+            )
+        )
+    collected: dict[str, list[float]] = {k: [] for k in keys}
+    for label, metrics in zip(labels, evaluated):
+        if isinstance(metrics, TaskFailure):
             for k in keys:
-                collected[k] = []
-        elif set(metrics) != keys:
+                collected[k].append(math.nan)
+            continue
+        if set(metrics) != keys:
             raise ConfigurationError(
                 f"evaluator returned keys {sorted(metrics)} at {label}, "
                 f"expected {sorted(keys)}"
@@ -124,6 +246,8 @@ class GridResult:
     parameters: tuple[str, ...]
     points: tuple[dict[str, float], ...]
     metrics: dict[str, tuple[float, ...]]
+    #: Cells whose evaluation exhausted its retry budget (``nan`` slots).
+    failures: tuple[TaskFailure, ...] = ()
 
     def series(self, metric: str) -> list[tuple[dict[str, float], float]]:
         if metric not in self.metrics:
@@ -150,6 +274,9 @@ def sweep_grid(
     n_jobs: int | None = 1,
     executor: ParallelExecutor | None = None,
     progress: ProgressHook | None = None,
+    resilience: ResilienceConfig | None = None,
+    checkpoint: str | Path | CheckpointStore | None = None,
+    resume: bool = False,
 ) -> GridResult:
     """Evaluate ``evaluate`` at every point of a cartesian grid.
 
@@ -157,15 +284,31 @@ def sweep_grid(
     one ``{name: value}`` dict per grid cell and returns named metrics
     (the same keys at every point, as in :func:`sweep`).  Points are
     enumerated by :func:`grid_points` and fanned through the executor —
-    results are ordered and identical for every worker count.
+    results are ordered and identical for every worker count.  The
+    ``resilience``/``checkpoint``/``resume`` knobs match :func:`sweep`.
     """
     points = grid_points(parameters)
-    executor = executor or ParallelExecutor(n_jobs=n_jobs, progress=progress)
-    evaluated = executor.map(evaluate, points)
+    config = {
+        "kind": "sweep_grid/v1",
+        "parameters": {k: [float(v) for v in vs] for k, vs in parameters.items()},
+        "evaluator": callable_token(evaluate),
+    }
+    evaluated, failures = _evaluate_points(
+        points,
+        evaluate,
+        config,
+        n_jobs=n_jobs,
+        executor=executor,
+        progress=progress,
+        resilience=resilience,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
     return GridResult(
         parameters=tuple(parameters),
         points=tuple(points),
         metrics=_collect_metrics(points, evaluated),
+        failures=tuple(failures),
     )
 
 

@@ -19,25 +19,29 @@ format is chosen for *crash semantics*, not elegance:
 Floats survive the JSON round-trip exactly (``repr`` round-trips IEEE
 doubles; ``inf``/``nan`` use the JSON extensions Python emits natively),
 so replayed objectives are bitwise identical to freshly computed ones.
+
+The file-level plumbing (fsync-per-record, torn-tail truncation,
+config-mismatch refusal) is the shared
+:class:`repro.runtime.checkpoint.JsonlCheckpointBase`, which the other
+long-running campaigns (Monte Carlo, sweeps, fault campaigns) use
+through the generic :class:`~repro.runtime.CheckpointStore`; this module
+keeps the DSE's richer :class:`EvalRecord` line format on top of it.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import subprocess
-import warnings
 from dataclasses import asdict, dataclass
-from pathlib import Path
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError
 from repro.runtime import content_key
+from repro.runtime.checkpoint import JsonlCheckpointBase, git_provenance
 
 #: Bumped when the line format changes incompatibly.
 STORE_VERSION = 1
 
 
-class StoreError(ConfigurationError):
+class StoreError(CheckpointError):
     """The run store refuses an unsafe operation (mismatch, clobber, ...)."""
 
 
@@ -56,35 +60,12 @@ class EvalRecord:
     elapsed: float = 0.0
 
 
-def git_provenance(cwd: str | Path | None = None) -> dict:
-    """Best-effort git description of the code that produced a run."""
-    def _run(*args: str) -> str | None:
-        try:
-            out = subprocess.run(
-                ["git", *args],
-                cwd=cwd,
-                capture_output=True,
-                text=True,
-                timeout=10,
-            )
-        except (OSError, subprocess.TimeoutExpired):
-            return None
-        return out.stdout.strip() if out.returncode == 0 else None
-
-    commit = _run("rev-parse", "HEAD")
-    status = _run("status", "--porcelain")
-    return {
-        "commit": commit,
-        "dirty": bool(status) if status is not None else None,
-    }
-
-
 def run_config_key(config: dict) -> str:
     """The identity hash of a run configuration (what resume checks)."""
     return content_key("dse-run-config/v1", json.dumps(config, sort_keys=True))
 
 
-class RunStore:
+class RunStore(JsonlCheckpointBase):
     """Append-only JSONL store of one search's evaluations.
 
     Usage::
@@ -100,162 +81,39 @@ class RunStore:
     line, and positions for appending.
     """
 
-    def __init__(self, path: str | Path, fsync: bool = True) -> None:
-        self.path = Path(path)
-        self.fsync = fsync
-        self.header: dict | None = None
-        self._records: dict[str, EvalRecord] = {}
-        self._order: list[str] = []
-        self._fh = None
-        self._good_bytes = 0
+    VERSION = STORE_VERSION
+    RECORD_KIND = "eval"
+    CONFIG_NAMESPACE = "dse-run-config/v1"
+    error_cls = StoreError
 
-    # --- reading ----------------------------------------------------------------------
+    def _decode_record(self, payload: dict) -> tuple[str, EvalRecord]:
+        record = EvalRecord(
+            key=payload["key"],
+            generation=int(payload["generation"]),
+            index=int(payload["index"]),
+            params={k: float(v) for k, v in payload["params"].items()},
+            seed=int(payload["seed"]),
+            feasible=bool(payload["feasible"]),
+            objectives={k: float(v) for k, v in payload["objectives"].items()},
+            reason=payload.get("reason", ""),
+            elapsed=float(payload.get("elapsed", 0.0)),
+        )
+        return record.key, record
 
-    def load(self) -> None:
-        """Parse the file, keeping every intact record.
-
-        A truncated or corrupt *final* line is the expected crash residue
-        and is dropped silently (the byte offset of the last good line is
-        remembered so :meth:`begin` can truncate it away).  Corruption
-        *before* the end means the tail of the file cannot be trusted;
-        everything after the bad line is dropped with a warning.
-        """
-        self.header = None
-        self._records.clear()
-        self._order.clear()
-        self._good_bytes = 0
-        data = self.path.read_bytes()
-        offset = 0
-        # A record is durable only once its terminating newline is on
-        # disk, so anything after the last newline is crash residue —
-        # even if it happens to parse — and is dropped.
-        complete = data.split(b"\n")[:-1]
-        for i, raw in enumerate(complete):
-            end = offset + len(raw) + 1
-            try:
-                payload = json.loads(raw.decode())
-                kind = payload["kind"]
-                if kind == "header":
-                    if self.header is not None:
-                        raise ValueError("duplicate header")
-                    if payload.get("version") != STORE_VERSION:
-                        raise StoreError(
-                            f"store version {payload.get('version')} != {STORE_VERSION}"
-                        )
-                    self.header = payload
-                elif kind == "eval":
-                    record = EvalRecord(
-                        key=payload["key"],
-                        generation=int(payload["generation"]),
-                        index=int(payload["index"]),
-                        params={k: float(v) for k, v in payload["params"].items()},
-                        seed=int(payload["seed"]),
-                        feasible=bool(payload["feasible"]),
-                        objectives={
-                            k: float(v) for k, v in payload["objectives"].items()
-                        },
-                        reason=payload.get("reason", ""),
-                        elapsed=float(payload.get("elapsed", 0.0)),
-                    )
-                    if record.key not in self._records:
-                        self._order.append(record.key)
-                    self._records[record.key] = record
-                else:
-                    raise ValueError(f"unknown record kind {kind!r}")
-            except StoreError:
-                raise
-            except Exception as exc:
-                dropped = len(complete) - i - 1
-                warnings.warn(
-                    f"{self.path}: corrupt record on line {i + 1} ({exc}); "
-                    f"dropping it and the {dropped} lines after it",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                break
-            offset = end
-            self._good_bytes = offset
-        if self.header is None and self._records:
-            raise StoreError(f"{self.path}: has records but no header line")
-
-    # --- writing ----------------------------------------------------------------------
-
-    def begin(self, config: dict, resume: bool = False) -> None:
-        """Open for appending: fresh header, or verified resume."""
-        exists = self.path.exists() and self.path.stat().st_size > 0
-        if exists and not resume:
-            raise StoreError(
-                f"{self.path} already holds a run; pass resume=True to continue"
-                " it (or choose another path)"
-            )
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        if exists:
-            self.load()
-            if self.header is None:
-                raise StoreError(f"{self.path}: no intact header to resume from")
-            if self.header.get("config_key") != run_config_key(config):
-                raise StoreError(
-                    f"{self.path} was written by a different run configuration;"
-                    " refusing to mix records (use a fresh store path)"
-                )
-            self._fh = open(self.path, "r+b")
-            self._fh.truncate(self._good_bytes)
-            self._fh.seek(self._good_bytes)
-        else:
-            self.header = {
-                "kind": "header",
-                "version": STORE_VERSION,
-                "config": config,
-                "config_key": run_config_key(config),
-                "git": git_provenance(),
-            }
-            self._fh = open(self.path, "wb")
-            self._write_line(self.header)
+    def _encode_record(self, key: str, record: EvalRecord) -> dict:
+        return asdict(record)
 
     def append(self, record: EvalRecord) -> None:
         """Durably persist one evaluation (idempotent per key)."""
-        if self._fh is None:
-            raise StoreError("store is not open; call begin() first")
-        if record.key in self._records:
-            return
-        self._records[record.key] = record
-        self._order.append(record.key)
-        self._write_line({"kind": "eval", **asdict(record)})
-
-    def _write_line(self, payload: dict) -> None:
-        line = json.dumps(payload, sort_keys=True).encode() + b"\n"
-        self._fh.write(line)
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
-        self._good_bytes += len(line)
-
-    # --- lookup -----------------------------------------------------------------------
+        self._append_obj(record.key, record)
 
     def get(self, key: str) -> EvalRecord | None:
-        return self._records.get(key)
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._records
-
-    def __len__(self) -> int:
-        return len(self._records)
+        return super().get(key)
 
     @property
     def records(self) -> list[EvalRecord]:
         """All records in first-seen order."""
-        return [self._records[k] for k in self._order]
-
-    def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
-
-    def __enter__(self) -> "RunStore":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+        return super().records
 
 
 __all__ = [

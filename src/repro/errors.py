@@ -19,6 +19,28 @@ class ConvergenceError(SimulationError):
     """An iterative solver or calibration failed to converge."""
 
 
+class ExecutionError(ReproError):
+    """The parallel runtime could not complete a task (not a physics failure)."""
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task wall-clock budget.
+
+    Raised inside the worker by the soft (``SIGALRM``) timeout, or by the
+    executor in strict mode when the watchdog had to kill a hung chunk."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died (``os._exit``, OOM kill, segfault) while
+    holding tasks.  Raised only in strict mode; the resilient path
+    respawns the pool and re-enqueues the in-flight work instead."""
+
+
+class CheckpointError(ConfigurationError):
+    """A checkpoint store refuses an unsafe operation (config mismatch,
+    clobbering an existing run, records without a header, ...)."""
+
+
 class NocError(ReproError):
     """Base class for NoC simulator errors."""
 

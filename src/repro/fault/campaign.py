@@ -26,7 +26,8 @@ processes without a serial fallback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 from repro.errors import ConfigurationError, LivelockError
 from repro.fault.energy import ProtectionCosts, price_fault_run
@@ -37,6 +38,12 @@ from repro.mc.ber import ber_upper_bound_many
 from repro.noc.simulator import NocSimulator
 from repro.noc.topology import MeshTopology
 from repro.noc.traffic import PATTERNS, SyntheticTraffic
+from repro.runtime import (
+    CheckpointStore,
+    ResilienceConfig,
+    TaskFailure,
+    open_checkpoint,
+)
 from repro.runtime.executor import ParallelExecutor
 from repro.runtime.seeds import derived_seed
 
@@ -223,12 +230,40 @@ def _evaluate_point(
     )
 
 
+def _point_key(ber: float, protocol: str) -> str:
+    """The checkpoint-record key of one campaign point."""
+    return f"{ber!r}/{protocol}"
+
+
+def _point_payload(point: FaultPointResult) -> dict:
+    """JSON checkpoint payload (floats round-trip exactly)."""
+    return asdict(point)
+
+
+def _point_from_payload(payload: dict) -> FaultPointResult:
+    fields = dict(payload)
+    fields["per_link_errors"] = tuple(
+        (str(t), int(e), int(n)) for t, e, n in fields["per_link_errors"]
+    )
+    fields["per_link_ber_bounds"] = tuple(
+        float(b) for b in fields["per_link_ber_bounds"]
+    )
+    return FaultPointResult(**fields)
+
+
 @dataclass(frozen=True)
 class FaultCampaignResult:
-    """All points of one campaign, in task order."""
+    """All points of one campaign, in task order.
+
+    Points whose simulation task exhausted its retry budget under a
+    non-strict :class:`~repro.runtime.ResilienceConfig` are absent from
+    ``points`` and recorded in ``failures`` instead (``point()`` raises
+    for them).
+    """
 
     config: FaultCampaignConfig
     points: tuple[FaultPointResult, ...]
+    failures: tuple[TaskFailure, ...] = ()
 
     def point(self, ber: float, protocol: str) -> FaultPointResult:
         for p in self.points:
@@ -248,12 +283,77 @@ def run_fault_campaign(
     config: FaultCampaignConfig | None = None,
     n_jobs: int | None = 1,
     executor: ParallelExecutor | None = None,
+    resilience: ResilienceConfig | None = None,
+    checkpoint: str | Path | CheckpointStore | None = None,
+    resume: bool = False,
 ) -> FaultCampaignResult:
-    """Evaluate the full (BER x protocol) grid, optionally in parallel."""
+    """Evaluate the full (BER x protocol) grid, optionally in parallel.
+
+    ``resilience`` opts points into the fault-tolerant task layer:
+    timeouts, deterministic retries, worker-crash recovery, and (unless
+    ``strict=True``) quarantine of points that exhaust their budget.
+    ``checkpoint``/``resume`` persist each completed point to a
+    crash-safe JSONL store bound to this exact campaign configuration —
+    a campaign killed mid-run resumes to the bitwise result of an
+    uninterrupted one, because every point's RNG streams derive only
+    from (campaign seed, point identity).
+    """
     config = config or FaultCampaignConfig()
-    executor = executor or ParallelExecutor(n_jobs=n_jobs)
-    points = executor.map(_evaluate_point, config.tasks())
-    return FaultCampaignResult(config=config, points=tuple(points))
+    tasks = config.tasks()
+    store = open_checkpoint(
+        checkpoint,
+        {"kind": "fault-campaign/v1", "config": asdict(config)},
+        resume,
+    )
+    done: dict[str, FaultPointResult] = {}
+    if store is not None:
+        done = {k: _point_from_payload(p) for k, p in store.items()}
+    pending = [
+        (i, task)
+        for i, task in enumerate(tasks)
+        if _point_key(task[1], task[2]) not in done
+    ]
+
+    computed: dict[int, FaultPointResult | TaskFailure] = {}
+    if pending:
+        executor = executor or ParallelExecutor(n_jobs=n_jobs, resilience=resilience)
+        on_result = None
+        if store is not None:
+
+            def on_result(indices: list[int], block: list) -> None:
+                for j, value in zip(indices, block):
+                    if not isinstance(value, TaskFailure):
+                        _, ber, protocol = pending[j][1]
+                        store.append(_point_key(ber, protocol), _point_payload(value))
+
+        results = executor.map(
+            _evaluate_point, [task for _, task in pending], on_result=on_result
+        )
+        for (i, _), value in zip(pending, results):
+            computed[i] = value
+    if store is not None and not isinstance(checkpoint, CheckpointStore):
+        store.close()
+
+    points: list[FaultPointResult] = []
+    failures: list[TaskFailure] = []
+    for i, task in enumerate(tasks):
+        value = done.get(_point_key(task[1], task[2]), computed.get(i))
+        if isinstance(value, TaskFailure):
+            failures.append(
+                TaskFailure(
+                    index=i,
+                    error_type=value.error_type,
+                    message=value.message,
+                    traceback=value.traceback,
+                    attempts=value.attempts,
+                    kind=value.kind,
+                )
+            )
+        else:
+            points.append(value)
+    return FaultCampaignResult(
+        config=config, points=tuple(points), failures=tuple(failures)
+    )
 
 
 def protection_crossover(
@@ -269,8 +369,12 @@ def protection_crossover(
         if protocol not in result.config.protocols:
             raise ConfigurationError(f"{protocol!r} was not part of the campaign")
     for ber in sorted(result.config.bers):
-        pa = result.point(ber, a)
-        pb = result.point(ber, b)
+        try:
+            pa = result.point(ber, a)
+            pb = result.point(ber, b)
+        except ConfigurationError:
+            # One side of the comparison was quarantined at this BER.
+            continue
         if pa.effective_fj_per_bit_mm < pb.effective_fj_per_bit_mm:
             return ber
     return None
@@ -302,8 +406,16 @@ def format_fault_report(result: FaultCampaignResult) -> str:
             f"{p.flits_dropped:5d} {p.links_disabled:4d} "
             f"{p.packet_retries:5d} {p.failed_transfers:4d}{flag}"
         )
+    if result.failures:
+        lines.append("")
+        lines.append(f"{len(result.failures)} point(s) failed and were quarantined:")
+        for failure in result.failures:
+            lines.append(f"  {failure.summary()}")
     lines.append("")
     for ber in sorted(config.bers):
+        if not any(p.ber == ber for p in result.points):
+            lines.append(f"best protection at BER {ber:.1e}: n/a (all points failed)")
+            continue
         lines.append(
             f"best protection at BER {ber:.1e}: {result.best_protocol(ber)}"
         )

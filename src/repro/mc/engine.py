@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
+from pathlib import Path
 
 import numpy as np
 
@@ -30,11 +31,15 @@ from repro.circuit.prbs import PrbsGenerator, worst_case_patterns
 from repro.circuit.srlr import SRLRDesignParams
 from repro.runtime import (
     MISS,
+    CheckpointStore,
     ParallelExecutor,
     ProgressHook,
+    ResilienceConfig,
     ResultCache,
+    TaskFailure,
     content_key,
     make_seeds,
+    open_checkpoint,
 )
 from repro.tech.variation import monte_carlo_sample
 
@@ -62,6 +67,15 @@ class McResult:
 
     design: SRLRDesignParams
     runs: list[McRun] = field(default_factory=list)
+    #: Dies whose *simulation task* exhausted its retry budget under a
+    #: non-strict :class:`~repro.runtime.ResilienceConfig` (not signaling
+    #: failures — those are ordinary ``runs`` with ``ok=False``).  Empty
+    #: on the default strict-less path.
+    failures: list[TaskFailure] = field(default_factory=list)
+
+    @property
+    def n_task_failures(self) -> int:
+        return len(self.failures)
 
     @property
     def n_runs(self) -> int:
@@ -107,6 +121,29 @@ def simulate_die(
     )
 
 
+def _run_payload(run: McRun) -> dict:
+    """The JSON checkpoint payload of one die (floats round-trip exactly)."""
+    return {
+        "seed": run.seed,
+        "ok": run.ok,
+        "n_errors": run.n_errors,
+        "stuck": run.stuck,
+        "dvth_n": run.dvth_n,
+        "dvth_p": run.dvth_p,
+    }
+
+
+def _run_from_payload(payload: dict) -> McRun:
+    return McRun(
+        seed=int(payload["seed"]),
+        ok=bool(payload["ok"]),
+        n_errors=int(payload["n_errors"]),
+        stuck=bool(payload["stuck"]),
+        dvth_n=float(payload["dvth_n"]),
+        dvth_p=float(payload["dvth_p"]),
+    )
+
+
 def run_monte_carlo(
     design: SRLRDesignParams,
     n_runs: int = 1000,
@@ -119,6 +156,9 @@ def run_monte_carlo(
     executor: ParallelExecutor | None = None,
     cache: ResultCache | None = None,
     progress: ProgressHook | None = None,
+    resilience: ResilienceConfig | None = None,
+    checkpoint: str | Path | CheckpointStore | None = None,
+    resume: bool = False,
 ) -> McResult:
     """Monte Carlo yield analysis of one link design.
 
@@ -133,6 +173,19 @@ def run_monte_carlo(
     processes; results are identical for every worker count.  ``cache``
     (a :class:`~repro.runtime.ResultCache`) skips the whole block when an
     entry keyed by (design, pattern, seeds, ...) already exists.
+
+    ``resilience`` opts the dies into the fault-tolerant task layer
+    (per-die timeouts, deterministic retries, worker-crash recovery);
+    with ``strict=False``, dies whose task exhausted its budget land in
+    :attr:`McResult.failures` instead of aborting the campaign.
+
+    ``checkpoint`` (a path or open :class:`~repro.runtime.CheckpointStore`)
+    persists each die durably as it completes; ``resume=True`` replays a
+    partially-written store — bound to this exact campaign configuration
+    — and computes only the missing dies, so a run killed at any instant
+    converges to the bitwise result of an uninterrupted one.  Every die
+    depends only on its own seed, which is why replayed and recomputed
+    dies mix freely.
     """
     if n_runs < 1:
         raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
@@ -141,32 +194,104 @@ def run_monte_carlo(
     pattern = default_stress_pattern() if pattern is None else pattern
     seeds = make_seeds(base_seed, n_runs, seed_scheme)
 
-    key = None
+    campaign_key = content_key(
+        "run_monte_carlo/v1",
+        design,
+        tuple(pattern),
+        bit_period,
+        tuple(seeds),
+        local_enabled,
+    )
     if cache is not None:
-        key = content_key(
-            "run_monte_carlo/v1",
-            design,
-            tuple(pattern),
-            bit_period,
-            tuple(seeds),
-            local_enabled,
-        )
-        cached = cache.get(key)
+        cached = cache.get(campaign_key)
         if cached is not MISS:
             return McResult(design=design, runs=list(cached))
 
-    worker = partial(
-        simulate_die,
-        design=design,
-        pattern=tuple(pattern),
-        bit_period=bit_period,
-        local_enabled=local_enabled,
+    store = open_checkpoint(
+        checkpoint, {"kind": "run_monte_carlo/v1", "campaign": campaign_key}, resume
     )
-    executor = executor or ParallelExecutor(n_jobs=n_jobs, progress=progress)
-    runs = executor.map(worker, seeds)
-    result = McResult(design=design, runs=runs)
-    if cache is not None and key is not None:
-        cache.put(key, result.runs)
+    try:
+        return _run_campaign(
+            design, seeds, pattern, bit_period, local_enabled, n_runs,
+            n_jobs, executor, cache, progress, resilience,
+            store, campaign_key,
+        )
+    finally:
+        # Each record was fsynced as it landed, so closing here (even on
+        # KeyboardInterrupt mid-campaign) never loses completed dies.
+        if store is not None and not isinstance(checkpoint, CheckpointStore):
+            store.close()
+
+
+def _run_campaign(
+    design: SRLRDesignParams,
+    seeds: list[int],
+    pattern: list[int],
+    bit_period: float,
+    local_enabled: bool,
+    n_runs: int,
+    n_jobs: int | None,
+    executor: ParallelExecutor | None,
+    cache: ResultCache | None,
+    progress: ProgressHook | None,
+    resilience: ResilienceConfig | None,
+    store: CheckpointStore | None,
+    campaign_key: str,
+) -> McResult:
+    done: dict[int, McRun] = {}
+    if store is not None:
+        done = {int(k): _run_from_payload(p) for k, p in store.items()}
+    pending = [(i, seed) for i, seed in enumerate(seeds) if i not in done]
+
+    computed: dict[int, McRun | TaskFailure] = {}
+    if pending:
+        worker = partial(
+            simulate_die,
+            design=design,
+            pattern=tuple(pattern),
+            bit_period=bit_period,
+            local_enabled=local_enabled,
+        )
+        executor = executor or ParallelExecutor(
+            n_jobs=n_jobs, progress=progress, resilience=resilience
+        )
+
+        on_result = None
+        if store is not None:
+
+            def on_result(indices: list[int], values: list) -> None:
+                # Persist each die as its chunk lands; a TaskFailure is
+                # never checkpointed — a resumed run retries it.
+                for j, value in zip(indices, values):
+                    if not isinstance(value, TaskFailure):
+                        store.append(str(pending[j][0]), _run_payload(value))
+
+        values = executor.map(worker, [seed for _, seed in pending], on_result=on_result)
+        for (i, _), value in zip(pending, values):
+            computed[i] = value
+
+    runs: list[McRun] = []
+    failures: list[TaskFailure] = []
+    for i in range(n_runs):
+        value = done.get(i, computed.get(i))
+        if isinstance(value, TaskFailure):
+            # Re-point the record at the die index (the executor saw
+            # only the pending subset).
+            failures.append(
+                TaskFailure(
+                    index=i,
+                    error_type=value.error_type,
+                    message=value.message,
+                    traceback=value.traceback,
+                    attempts=value.attempts,
+                    kind=value.kind,
+                )
+            )
+        else:
+            runs.append(value)
+    result = McResult(design=design, runs=runs, failures=failures)
+    if cache is not None and not failures:
+        cache.put(campaign_key, result.runs)
     return result
 
 

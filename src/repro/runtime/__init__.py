@@ -1,19 +1,38 @@
-"""Parallel execution runtime: executor, seed streams, metrics, cache.
+"""Parallel execution runtime: executor, seeds, metrics, cache, resilience.
 
 The subsystem behind ``run_monte_carlo(..., n_jobs=...)`` and
 ``sweep(..., n_jobs=...)``: an order-preserving chunked process-pool
 executor whose results are independent of worker count, deterministic
-per-task seed streams, lightweight progress metrics, and an opt-in
-on-disk result cache keyed by a content hash of the inputs.
+per-task seed streams, lightweight progress metrics, an opt-in on-disk
+result cache keyed by a content hash of the inputs, a fault-tolerant
+task layer (timeouts, deterministic retries, worker-crash recovery,
+poison-task quarantine — :mod:`repro.runtime.resilience`), and
+crash-safe JSONL checkpoint stores that give every long-running
+campaign ``checkpoint=``/``resume=`` (:mod:`repro.runtime.checkpoint`).
 """
 
 from repro.runtime.cache import MISS, ResultCache, content_key, stable_token
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    JsonlCheckpointBase,
+    callable_token,
+    git_provenance,
+    open_checkpoint,
+)
 from repro.runtime.executor import (
     ParallelExecutor,
+    ResultHook,
     SerialFallbackWarning,
     resolve_n_jobs,
 )
 from repro.runtime.metrics import ChunkRecord, ProgressHook, RunMetrics, print_progress
+from repro.runtime.resilience import (
+    FAILURE_KINDS,
+    ResilienceConfig,
+    TaskFailure,
+    TaskOutcome,
+)
 from repro.runtime.seeds import (
     SEED_SCHEMES,
     derived_seed,
@@ -23,17 +42,28 @@ from repro.runtime.seeds import (
 )
 
 __all__ = [
-    "MISS",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
     "ChunkRecord",
+    "FAILURE_KINDS",
+    "JsonlCheckpointBase",
+    "MISS",
     "ParallelExecutor",
     "ProgressHook",
+    "ResilienceConfig",
     "ResultCache",
+    "ResultHook",
     "RunMetrics",
     "SEED_SCHEMES",
     "SerialFallbackWarning",
+    "TaskFailure",
+    "TaskOutcome",
+    "callable_token",
     "content_key",
     "derived_seed",
+    "git_provenance",
     "make_seeds",
+    "open_checkpoint",
     "print_progress",
     "resolve_n_jobs",
     "sequential_seeds",

@@ -88,6 +88,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.put_errors = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -121,7 +122,16 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically (write + rename)."""
+        """Store ``value`` under ``key`` atomically (write + rename).
+
+        A failed write (unpicklable value, full or read-only disk) never
+        leaves a ``.tmp`` file behind and never aborts the campaign that
+        tried to cache: the failure is swallowed, counted in
+        :attr:`put_errors`, and reported by :meth:`summary` — the cache
+        is an accelerator, so losing a store only costs a recompute.
+        ``KeyboardInterrupt``/``SystemExit`` still propagate (after the
+        temp-file cleanup) so Ctrl-C stays responsive.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -129,20 +139,25 @@ class ResultCache:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump({"key": key, "value": value}, fh, protocol=4)
             os.replace(tmp, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
+            self.put_errors += 1
+            if not isinstance(exc, Exception):
+                raise
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
     def summary(self) -> str:
+        put_note = (
+            f", {self.put_errors} failed writes" if self.put_errors else ""
+        )
         return (
             f"cache at {self.root}: {self.hits} hits, {self.misses} misses"
-            f" ({self.corrupt} corrupt entries discarded)"
+            f" ({self.corrupt} corrupt entries discarded{put_note})"
         )
 
 

@@ -1,0 +1,341 @@
+"""Crash-safe JSONL checkpoint stores for long-running campaigns.
+
+Generalizes the machinery the design-space run store
+(:mod:`repro.dse.store`) proved out, so *every* campaign — Monte Carlo,
+sweeps, fault campaigns, searches — can gain ``checkpoint=``/``resume=``
+with identical crash semantics:
+
+* one header line binds the file to a run configuration (via a content
+  hash), then one line per completed unit of work, flushed and fsynced
+  as it lands — a process killed at any instant (``SIGKILL``, OOM,
+  Ctrl-C) leaves at most one truncated final line;
+* :meth:`JsonlCheckpointBase.load` drops a torn or corrupt *final* line
+  silently (the expected crash residue) and physically truncates it
+  before the next append; corruption earlier in the file drops the
+  untrustworthy tail with a warning;
+* resuming against a file written by a *different* configuration is
+  refused loudly (:class:`repro.errors.CheckpointError`) instead of
+  silently mixing records;
+* floats survive the JSON round-trip exactly (``repr`` round-trips IEEE
+  doubles), so replayed results are bitwise identical to freshly
+  computed ones — which, combined with content-addressed per-task seeds
+  (:mod:`repro.runtime.seeds`), is what makes an interrupted-and-resumed
+  campaign converge to the exact result of an uninterrupted one.
+
+:class:`JsonlCheckpointBase` carries the shared plumbing;
+:class:`CheckpointStore` is the generic key->payload instantiation used
+by ``run_monte_carlo``, ``sweep``/``sweep_grid`` and
+``run_fault_campaign``; the DSE's :class:`~repro.dse.store.RunStore`
+subclasses the base with its richer record type.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import subprocess
+import warnings
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+from repro.runtime.cache import content_key, stable_token
+
+#: Bumped when the line format changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+def git_provenance(cwd: str | Path | None = None) -> dict:
+    """Best-effort git description of the code that produced a run."""
+    def _run(*args: str) -> str | None:
+        try:
+            out = subprocess.run(
+                ["git", *args],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return out.stdout.strip() if out.returncode == 0 else None
+
+    commit = _run("rev-parse", "HEAD")
+    status = _run("status", "--porcelain")
+    return {
+        "commit": commit,
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+def callable_token(fn: Any) -> str:
+    """A best-effort stable identity string for an evaluator callable.
+
+    Used in checkpoint *configurations* (the resume-compatibility check),
+    not in per-record keys: two runs whose evaluators tokenize
+    differently refuse to share a store.  Covers plain functions (module
+    + qualname), ``functools.partial`` (recursing into bound arguments)
+    and stateful evaluator objects (via :func:`stable_token`).
+    """
+    if isinstance(fn, functools.partial):
+        bound = tuple(sorted(fn.keywords.items())) if fn.keywords else ()
+        return (
+            f"partial({callable_token(fn.func)},"
+            f" args={stable_token(fn.args)}, kwargs={stable_token(bound)})"
+        )
+    name = getattr(fn, "__qualname__", None) or type(fn).__qualname__
+    module = getattr(fn, "__module__", None) or "?"
+    try:
+        state = stable_token(fn)
+    except TypeError:
+        state = ""
+    return f"{module}:{name}:{state}"
+
+
+class JsonlCheckpointBase:
+    """Shared append-only JSONL store plumbing (see module docstring).
+
+    Subclasses set :attr:`RECORD_KIND` / :attr:`CONFIG_NAMESPACE` /
+    :attr:`error_cls` and implement ``_decode_record`` /
+    ``_encode_record`` for their record type.
+    """
+
+    VERSION = CHECKPOINT_VERSION
+    RECORD_KIND = "record"
+    CONFIG_NAMESPACE = "checkpoint-config/v1"
+    error_cls: type[CheckpointError] = CheckpointError
+
+    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.header: dict | None = None
+        self._records: dict[str, Any] = {}
+        self._order: list[str] = []
+        self._fh = None
+        self._good_bytes = 0
+
+    # --- record codec (subclass hooks) ------------------------------------------------
+
+    def _decode_record(self, payload: dict) -> tuple[str, Any]:
+        """``(key, object)`` from one parsed record line."""
+        raise NotImplementedError
+
+    def _encode_record(self, key: str, obj: Any) -> dict:
+        """The JSON body (sans ``kind``) for one record line."""
+        raise NotImplementedError
+
+    @classmethod
+    def config_key(cls, config: dict) -> str:
+        """The identity hash of a run configuration (what resume checks)."""
+        return content_key(cls.CONFIG_NAMESPACE, json.dumps(config, sort_keys=True))
+
+    # --- reading ----------------------------------------------------------------------
+
+    def load(self) -> None:
+        """Parse the file, keeping every intact record.
+
+        A truncated or corrupt *final* line is the expected crash residue
+        and is dropped silently (the byte offset of the last good line is
+        remembered so :meth:`begin` can truncate it away).  Corruption
+        *before* the end means the tail of the file cannot be trusted;
+        everything after the bad line is dropped with a warning.
+        """
+        self.header = None
+        self._records.clear()
+        self._order.clear()
+        self._good_bytes = 0
+        data = self.path.read_bytes()
+        offset = 0
+        # A record is durable only once its terminating newline is on
+        # disk, so anything after the last newline is crash residue —
+        # even if it happens to parse — and is dropped.
+        complete = data.split(b"\n")[:-1]
+        for i, raw in enumerate(complete):
+            end = offset + len(raw) + 1
+            try:
+                payload = json.loads(raw.decode())
+                kind = payload["kind"]
+                if kind == "header":
+                    if self.header is not None:
+                        raise ValueError("duplicate header")
+                    if payload.get("version") != self.VERSION:
+                        raise self.error_cls(
+                            f"store version {payload.get('version')} != {self.VERSION}"
+                        )
+                    self.header = payload
+                elif kind == self.RECORD_KIND:
+                    key, obj = self._decode_record(payload)
+                    if key not in self._records:
+                        self._order.append(key)
+                    self._records[key] = obj
+                else:
+                    raise ValueError(f"unknown record kind {kind!r}")
+            except CheckpointError:
+                raise
+            except Exception as exc:
+                dropped = len(complete) - i - 1
+                warnings.warn(
+                    f"{self.path}: corrupt record on line {i + 1} ({exc}); "
+                    f"dropping it and the {dropped} lines after it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            offset = end
+            self._good_bytes = offset
+        if self.header is None and self._records:
+            raise self.error_cls(f"{self.path}: has records but no header line")
+
+    # --- writing ----------------------------------------------------------------------
+
+    def begin(self, config: dict, resume: bool = False) -> None:
+        """Open for appending: fresh header, or verified resume."""
+        exists = self.path.exists() and self.path.stat().st_size > 0
+        if exists and not resume:
+            raise self.error_cls(
+                f"{self.path} already holds a run; pass resume=True to continue"
+                " it (or choose another path)"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if exists:
+            self.load()
+            if self.header is None:
+                raise self.error_cls(
+                    f"{self.path}: no intact header to resume from"
+                )
+            if self.header.get("config_key") != self.config_key(config):
+                raise self.error_cls(
+                    f"{self.path} was written by a different run configuration;"
+                    " refusing to mix records (use a fresh store path)"
+                )
+            self._fh = open(self.path, "r+b")
+            self._fh.truncate(self._good_bytes)
+            self._fh.seek(self._good_bytes)
+        else:
+            self.header = {
+                "kind": "header",
+                "version": self.VERSION,
+                "config": config,
+                "config_key": self.config_key(config),
+                "git": git_provenance(),
+            }
+            self._fh = open(self.path, "wb")
+            self._write_line(self.header)
+
+    def _append_obj(self, key: str, obj: Any) -> None:
+        """Durably persist one record (idempotent per key)."""
+        if self._fh is None:
+            raise self.error_cls("store is not open; call begin() first")
+        if key in self._records:
+            return
+        self._records[key] = obj
+        self._order.append(key)
+        self._write_line({"kind": self.RECORD_KIND, **self._encode_record(key, obj)})
+
+    def _write_line(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True).encode() + b"\n"
+        self._fh.write(line)
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._good_bytes += len(line)
+
+    # --- lookup -----------------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        return self._records.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> list[str]:
+        """All record keys in first-seen order."""
+        return list(self._order)
+
+    @property
+    def records(self) -> list[Any]:
+        """All records in first-seen order."""
+        return [self._records[k] for k in self._order]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class CheckpointStore(JsonlCheckpointBase):
+    """The generic campaign checkpoint: string key -> JSON payload dict.
+
+    Usage::
+
+        store = CheckpointStore(path)
+        store.begin(config, resume=False)   # writes the header
+        store.append(key, payload)          # durable immediately
+        payload = store.get(key)            # replay lookup
+        store.close()
+
+    ``begin(config, resume=True)`` loads an existing file instead,
+    verifies its header matches ``config``, truncates any torn final
+    line, and positions for appending.
+    """
+
+    RECORD_KIND = "record"
+    CONFIG_NAMESPACE = "campaign-checkpoint/v1"
+
+    def _decode_record(self, payload: dict) -> tuple[str, Any]:
+        return str(payload["key"]), payload["payload"]
+
+    def _encode_record(self, key: str, obj: Any) -> dict:
+        return {"key": key, "payload": obj}
+
+    def append(self, key: str, payload: Any) -> None:
+        """Durably persist one completed unit of work (idempotent per key).
+
+        ``payload`` must be JSON-serializable; floats round-trip exactly.
+        """
+        self._append_obj(key, payload)
+
+    def items(self) -> list[tuple[str, Any]]:
+        """(key, payload) pairs in first-seen order."""
+        return [(k, self._records[k]) for k in self._order]
+
+
+def open_checkpoint(
+    checkpoint: str | Path | CheckpointStore | None,
+    config: dict,
+    resume: bool,
+) -> CheckpointStore | None:
+    """Campaign-side helper: coerce a path into an open store.
+
+    ``None`` passes through (checkpointing off); an already-open store is
+    ``begin``-ed against ``config``; a path is wrapped first.
+    """
+    if checkpoint is None:
+        return None
+    store = (
+        checkpoint
+        if isinstance(checkpoint, CheckpointStore)
+        else CheckpointStore(checkpoint)
+    )
+    store.begin(config, resume=resume)
+    return store
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "JsonlCheckpointBase",
+    "callable_token",
+    "git_provenance",
+    "open_checkpoint",
+]

@@ -42,6 +42,16 @@ class RunMetrics:
     total_tasks: int = 0
     completed_tasks: int = 0
     failed_tasks: int = 0
+    #: Extra attempts spent re-running failed tasks (resilient path).
+    retries: int = 0
+    #: Soft (in-worker) timeout expiries, successful-after-retry included.
+    timeouts: int = 0
+    #: Times the process pool had to be killed and respawned (worker
+    #: death or watchdog-detected hang).
+    pool_respawns: int = 0
+    #: Tasks that exhausted their retry budget and yielded a
+    #: :class:`~repro.runtime.TaskFailure` record instead of a value.
+    quarantined: int = 0
     n_jobs: int = 1
     backend: str = "serial"
     #: Why a parallel request degraded to the serial path (``None`` when
@@ -65,6 +75,17 @@ class RunMetrics:
         self.wall_time = time.perf_counter() - self.started_at
         return record
 
+    def note_resilience(
+        self, retries: int = 0, timeouts: int = 0, quarantined: int = 0
+    ) -> None:
+        """Accumulate resilient-path counters (see field docs above)."""
+        self.retries += retries
+        self.timeouts += timeouts
+        self.quarantined += quarantined
+
+    def note_respawn(self) -> None:
+        self.pool_respawns += 1
+
     def finish(self) -> None:
         self.wall_time = time.perf_counter() - self.started_at
 
@@ -87,12 +108,18 @@ class RunMetrics:
             if self.fallback_reason
             else ""
         )
+        resilience = ""
+        if self.retries or self.timeouts or self.pool_respawns or self.quarantined:
+            resilience = (
+                f" [{self.retries} retries, {self.timeouts} timeouts,"
+                f" {self.pool_respawns} respawns, {self.quarantined} quarantined]"
+            )
         return (
             f"{self.completed_tasks}/{self.total_tasks} tasks"
             f" ({self.backend}, n_jobs={self.n_jobs})"
             f" in {self.wall_time:.2f}s"
             f" ({self.throughput:.1f} tasks/s, {self.failed_tasks} failed)"
-            f"{fallback}"
+            f"{resilience}{fallback}"
         )
 
 

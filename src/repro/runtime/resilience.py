@@ -1,0 +1,256 @@
+"""Fault tolerance for the parallel task layer.
+
+The campaigns behind the paper's statistical claims (Monte Carlo yield,
+swing sweeps, fault campaigns) run for minutes to hours under
+:class:`~repro.runtime.ParallelExecutor`.  Without this module a single
+hung task, a worker killed by the OOM killer, or a transient exception
+loses the entire run.  :class:`ResilienceConfig` opts a ``map`` into:
+
+* **per-task soft timeouts** — each task runs under a ``SIGALRM`` timer
+  inside the worker; expiry raises :class:`repro.errors.TaskTimeoutError`
+  and counts as a failed attempt;
+* **deterministic bounded retries** — a failed attempt is re-run up to
+  ``max_retries`` times with exponential backoff.  Tasks carry their own
+  content-addressed seeds (:mod:`repro.runtime.seeds`), so a retry
+  re-evaluates exactly the same pure function of the item and the final
+  results are bitwise identical to a clean run;
+* **quarantine** — a task that exhausts its attempts yields a structured
+  :class:`TaskFailure` record in its result slot instead of aborting the
+  campaign (``strict=True`` restores abort-on-failure).
+
+The executor adds the parts that need the parent process: a watchdog
+that hard-kills chunks whose workers hang past the soft timeout (e.g.
+blocked signals, stuck C code) and ``BrokenProcessPool`` recovery that
+respawns the pool and re-enqueues only the in-flight work — see
+:meth:`repro.runtime.ParallelExecutor.map` and docs/RESILIENCE.md.
+
+Everything here that crosses a process boundary (the config, the
+outcome, the failure record) is a plain picklable dataclass.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError, TaskTimeoutError
+
+#: Failure categories carried by :attr:`TaskFailure.kind`.
+FAILURE_KINDS = ("exception", "timeout", "crash", "hang")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget.
+
+    Placed in the task's result slot (quarantine mode) so the rest of the
+    campaign survives; consumers decide whether a hole is tolerable.
+    """
+
+    index: int  # position within the mapped items
+    error_type: str  # exception class name ("WorkerCrashError" for crashes)
+    message: str
+    traceback: str  # formatted worker-side traceback ("" for crashes/hangs)
+    attempts: int  # total attempts spent, crashes included
+    kind: str  # one of FAILURE_KINDS
+
+    def summary(self) -> str:
+        return (
+            f"task {self.index} failed after {self.attempts} attempt(s)"
+            f" [{self.kind}]: {self.error_type}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the fault-tolerant execution path.
+
+    Parameters
+    ----------
+    timeout:
+        Soft per-task wall-clock budget in seconds, enforced by
+        ``SIGALRM`` inside the worker (``None`` disables).  Platforms
+        without ``SIGALRM`` fall back to the watchdog alone.
+    hard_timeout:
+        Per-task budget after which the parent watchdog assumes the
+        worker is unrecoverably hung and kills the pool.  Defaults to
+        ``4 * timeout``; a chunk of ``n`` tasks gets ``n *`` this budget.
+    max_retries:
+        Extra attempts after the first, per task.  Worker-side failures
+        (exception, soft timeout) and parent-side ones (crash, hang)
+        draw from the same budget.
+    backoff_base / backoff_factor / backoff_max:
+        Attempt ``k`` (1-based) sleeps
+        ``min(backoff_max, backoff_base * backoff_factor**(k-1))`` before
+        retrying.  Deterministic — no jitter — so retried runs stay
+        reproducible.
+    strict:
+        ``True`` restores abort-the-campaign semantics: the first task
+        to exhaust its budget raises instead of quarantining.
+    watchdog_poll:
+        Parent-side poll interval while hard deadlines are armed.
+    """
+
+    timeout: float | None = None
+    hard_timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    strict: bool = False
+    watchdog_poll: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout}")
+        if self.hard_timeout is not None and self.hard_timeout <= 0.0:
+            raise ConfigurationError(
+                f"hard_timeout must be positive, got {self.hard_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0.0 or self.backoff_max < 0.0:
+            raise ConfigurationError("backoff budgets must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.watchdog_poll <= 0.0:
+            raise ConfigurationError(
+                f"watchdog_poll must be positive, got {self.watchdog_poll}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a task may spend (first try + retries)."""
+        return self.max_retries + 1
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retrying after ``attempt`` failed attempts."""
+        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    def hard_limit(self) -> float | None:
+        """Per-task hard (watchdog) budget in seconds, or ``None``."""
+        if self.hard_timeout is not None:
+            return self.hard_timeout
+        if self.timeout is not None:
+            return 4.0 * self.timeout
+        return None
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Worker-side result envelope: a value or a structured failure."""
+
+    index: int
+    attempts: int
+    timeouts: int = 0
+    value: Any = None
+    failure: TaskFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@contextmanager
+def soft_deadline(seconds: float | None):
+    """Raise :class:`TaskTimeoutError` in this thread after ``seconds``.
+
+    A no-op when ``seconds`` is ``None``, when the platform lacks
+    ``SIGALRM`` (Windows), or off the main thread (where Python cannot
+    deliver signals) — the parent watchdog remains the backstop.
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise TaskTimeoutError(f"task exceeded its {seconds}s soft timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_one_resilient(
+    fn: Callable[[Any], Any],
+    index: int,
+    item: Any,
+    config: ResilienceConfig,
+    prior_attempts: int = 0,
+) -> TaskOutcome:
+    """Evaluate one task under the retry/timeout policy.
+
+    ``prior_attempts`` carries attempts already burned by worker crashes
+    or hangs, so a task re-enqueued after a pool respawn keeps one
+    unified budget.  ``fn(item)`` must be a pure function of ``item``
+    (tasks carry their own seeds), which is what makes a retried run
+    bitwise identical to a clean one.
+    """
+    attempts = prior_attempts
+    timeouts = 0
+    while True:
+        attempts += 1
+        try:
+            with soft_deadline(config.timeout):
+                value = fn(item)
+            return TaskOutcome(index=index, attempts=attempts, timeouts=timeouts, value=value)
+        except Exception as exc:
+            timed_out = isinstance(exc, TaskTimeoutError)
+            if timed_out:
+                timeouts += 1
+            if attempts >= config.max_attempts:
+                failure = TaskFailure(
+                    index=index,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=traceback.format_exc(),
+                    attempts=attempts,
+                    kind="timeout" if timed_out else "exception",
+                )
+                return TaskOutcome(
+                    index=index, attempts=attempts, timeouts=timeouts, failure=failure
+                )
+        time.sleep(config.backoff(attempts))
+
+
+def run_chunk_resilient(
+    fn: Callable[[Any], Any],
+    indexed: list[tuple[int, Any, int]],
+    config: ResilienceConfig,
+) -> list[TaskOutcome]:
+    """Worker-side body: ``(index, item, prior_attempts)`` triples in,
+    one :class:`TaskOutcome` per task out, order preserved."""
+    return [
+        run_one_resilient(fn, index, item, config, prior)
+        for index, item, prior in indexed
+    ]
+
+
+__all__ = [
+    "FAILURE_KINDS",
+    "ResilienceConfig",
+    "TaskFailure",
+    "TaskOutcome",
+    "run_chunk_resilient",
+    "run_one_resilient",
+    "soft_deadline",
+]

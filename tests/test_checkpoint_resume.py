@@ -1,0 +1,322 @@
+"""Crash-safe checkpoint/resume across every campaign type.
+
+The acceptance property from docs/RESILIENCE.md: a campaign killed at
+any instant and resumed from its checkpoint produces results **bitwise
+identical** to an uninterrupted run — for Monte Carlo, 1-D sweeps, grid
+sweeps and fault campaigns — while recomputing only the missing work.
+Plus the store-level guarantees: torn-tail truncation, config-mismatch
+refusal, and exact float round-trips.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweep import sweep, sweep_grid
+from repro.circuit.srlr import robust_design
+from repro.errors import CheckpointError
+from repro.fault import FaultCampaignConfig, run_fault_campaign
+from repro.mc.engine import run_monte_carlo
+from repro.runtime import (
+    CheckpointStore,
+    ParallelExecutor,
+    ResilienceConfig,
+    callable_token,
+)
+
+N_RUNS = 24
+
+
+# --- CheckpointStore unit behavior -----------------------------------------------------
+
+
+def test_roundtrip_preserves_floats_exactly(tmp_path):
+    path = tmp_path / "store.jsonl"
+    values = [0.1 + 0.2, 1e-308, -0.0, 123456789.123456789, float("inf")]
+    with CheckpointStore(path) as store:
+        store.begin({"kind": "t"})
+        for i, v in enumerate(values):
+            store.append(str(i), {"v": v})
+    fresh = CheckpointStore(path)
+    fresh.load()
+    got = [fresh.get(str(i))["v"] for i in range(len(values))]
+    assert all(a == b for a, b in zip(got, values))
+    assert math.copysign(1.0, got[2]) == -1.0  # -0.0 survives
+
+
+def test_torn_final_line_dropped_and_truncated(tmp_path):
+    path = tmp_path / "store.jsonl"
+    with CheckpointStore(path) as store:
+        store.begin({"kind": "t"})
+        store.append("a", {"v": 1})
+        store.append("b", {"v": 2})
+    good_size = path.stat().st_size
+    with open(path, "ab") as fh:
+        fh.write(b'{"kind": "record", "key": "c", "pay')  # no newline: torn
+
+    resumed = CheckpointStore(path)
+    resumed.begin({"kind": "t"}, resume=True)
+    assert set(resumed.keys()) == {"a", "b"}
+    resumed.append("c", {"v": 3})
+    resumed.close()
+    # The torn bytes are physically gone, replaced by the clean append.
+    lines = path.read_bytes().decode().splitlines()
+    assert len(lines) == 4  # header + a + b + c
+    assert json.loads(lines[-1])["key"] == "c"
+    assert path.stat().st_size > good_size
+
+
+def test_mid_file_corruption_drops_untrusted_tail_with_warning(tmp_path):
+    path = tmp_path / "store.jsonl"
+    with CheckpointStore(path) as store:
+        store.begin({"kind": "t"})
+        for key in "abcd":
+            store.append(key, {"v": key})
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[2] = b"NOT JSON AT ALL\n"  # corrupt record "b"
+    path.write_bytes(b"".join(lines))
+    fresh = CheckpointStore(path)
+    with pytest.warns(RuntimeWarning, match="corrupt record on line 3"):
+        fresh.load()
+    assert set(fresh.keys()) == {"a"}  # b, c, d all dropped
+
+
+def test_existing_store_requires_resume_flag(tmp_path):
+    path = tmp_path / "store.jsonl"
+    with CheckpointStore(path) as store:
+        store.begin({"kind": "t"})
+    with pytest.raises(CheckpointError, match="pass resume=True"):
+        CheckpointStore(path).begin({"kind": "t"})
+
+
+def test_config_mismatch_refused(tmp_path):
+    path = tmp_path / "store.jsonl"
+    with CheckpointStore(path) as store:
+        store.begin({"kind": "t", "n": 1})
+    with pytest.raises(CheckpointError, match="different run configuration"):
+        CheckpointStore(path).begin({"kind": "t", "n": 2}, resume=True)
+
+
+def test_append_is_idempotent_per_key(tmp_path):
+    path = tmp_path / "store.jsonl"
+    with CheckpointStore(path) as store:
+        store.begin({"kind": "t"})
+        store.append("a", {"v": 1})
+        store.append("a", {"v": 999})  # ignored: first write wins
+        assert store.get("a") == {"v": 1}
+        assert len(store) == 1
+
+
+def test_callable_token_distinguishes_functions_and_partials():
+    t_sweep = callable_token(sweep)
+    t_grid = callable_token(sweep_grid)
+    assert t_sweep != t_grid
+    p1 = callable_token(functools.partial(sweep, parameter="x"))
+    p2 = callable_token(functools.partial(sweep, parameter="y"))
+    assert p1 != p2
+    assert callable_token(functools.partial(sweep, parameter="x")) == p1
+
+
+# --- Monte Carlo ------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def mc_reference():
+    return run_monte_carlo(robust_design(), n_runs=N_RUNS)
+
+
+def _truncate_to_records(path: Path, n_keep: int) -> None:
+    """Keep the header plus the first ``n_keep`` records (simulated kill)."""
+    lines = path.read_bytes().splitlines(keepends=True)
+    path.write_bytes(b"".join(lines[: 1 + n_keep]))
+
+
+def test_mc_checkpointed_run_matches_plain(tmp_path, mc_reference):
+    path = tmp_path / "mc.jsonl"
+    result = run_monte_carlo(robust_design(), n_runs=N_RUNS, checkpoint=path)
+    assert result.runs == mc_reference.runs
+
+
+@pytest.mark.parametrize("resume_jobs", [1, 2])
+def test_mc_interrupted_resume_is_bitwise_identical(
+    tmp_path, mc_reference, resume_jobs
+):
+    path = tmp_path / f"mc-{resume_jobs}.jsonl"
+    run_monte_carlo(robust_design(), n_runs=N_RUNS, checkpoint=path)
+    _truncate_to_records(path, 7)  # "kill" with 7 of 24 dies durable
+
+    resumed = run_monte_carlo(
+        robust_design(),
+        n_runs=N_RUNS,
+        n_jobs=resume_jobs,
+        checkpoint=path,
+        resume=True,
+    )
+    assert resumed.runs == mc_reference.runs
+
+
+def test_mc_keyboard_interrupt_then_resume(tmp_path, mc_reference):
+    path = tmp_path / "mc-ki.jsonl"
+    state = {"chunks": 0}
+
+    def interrupt(metrics) -> None:
+        state["chunks"] += 1
+        if state["chunks"] >= 2:
+            raise KeyboardInterrupt
+
+    executor = ParallelExecutor(n_jobs=1, chunk_size=4, progress=interrupt)
+    with pytest.raises(KeyboardInterrupt):
+        run_monte_carlo(
+            robust_design(), n_runs=N_RUNS, executor=executor, checkpoint=path
+        )
+
+    survivors = CheckpointStore(path)
+    survivors.load()
+    assert 0 < len(survivors) < N_RUNS
+
+    resumed = run_monte_carlo(
+        robust_design(), n_runs=N_RUNS, checkpoint=path, resume=True
+    )
+    assert resumed.runs == mc_reference.runs
+
+
+def test_mc_complete_checkpoint_recomputes_nothing(tmp_path, mc_reference):
+    path = tmp_path / "mc-done.jsonl"
+    run_monte_carlo(robust_design(), n_runs=N_RUNS, checkpoint=path)
+
+    executor = ParallelExecutor(n_jobs=1)
+    replayed = run_monte_carlo(
+        robust_design(),
+        n_runs=N_RUNS,
+        executor=executor,
+        checkpoint=path,
+        resume=True,
+    )
+    assert replayed.runs == mc_reference.runs
+    assert executor.last_metrics is None  # map() never ran
+
+
+def test_mc_different_campaign_refuses_store(tmp_path):
+    path = tmp_path / "mc.jsonl"
+    run_monte_carlo(robust_design(), n_runs=8, checkpoint=path)
+    with pytest.raises(CheckpointError, match="different run configuration"):
+        run_monte_carlo(
+            robust_design(), n_runs=8, base_seed=999, checkpoint=path, resume=True
+        )
+
+
+# --- sweeps -----------------------------------------------------------------------------
+
+SWEEP_VALUES = (0.26, 0.28, 0.30, 0.32)
+
+
+def _sweep_eval(v: float) -> dict[str, float]:
+    return {"square": v * v, "scaled": v * 3.7}
+
+
+def _gated_eval(v: float, gate_dir: str = "") -> dict[str, float]:
+    """Poison value fails until the gate file exists (resume testing)."""
+    if v == SWEEP_VALUES[2] and not (Path(gate_dir) / "open").exists():
+        raise RuntimeError("gate closed")
+    return _sweep_eval(v)
+
+
+def _grid_eval(point: dict) -> dict[str, float]:
+    return {"product": point["a"] * point["b"]}
+
+
+def test_sweep_interrupted_resume_is_bitwise_identical(tmp_path):
+    reference = sweep("swing", SWEEP_VALUES, _sweep_eval)
+    path = tmp_path / "sweep.jsonl"
+    sweep("swing", SWEEP_VALUES, _sweep_eval, checkpoint=path)
+    _truncate_to_records(path, 2)
+
+    resumed = sweep(
+        "swing", SWEEP_VALUES, _sweep_eval, checkpoint=path, resume=True
+    )
+    assert resumed == reference
+
+
+def test_sweep_different_evaluator_refuses_store(tmp_path):
+    path = tmp_path / "sweep.jsonl"
+    sweep("swing", SWEEP_VALUES, _sweep_eval, checkpoint=path)
+    with pytest.raises(CheckpointError, match="different run configuration"):
+        sweep("swing", SWEEP_VALUES, _grid_eval, checkpoint=path, resume=True)
+
+
+def test_sweep_quarantined_point_not_checkpointed_and_retried_on_resume(tmp_path):
+    gate = tmp_path / "gate"
+    gate.mkdir()
+    evaluate = functools.partial(_gated_eval, gate_dir=str(gate))
+    path = tmp_path / "sweep.jsonl"
+
+    config = ResilienceConfig(max_retries=0, backoff_base=0.0)
+    broken = sweep(
+        "swing", SWEEP_VALUES, evaluate, resilience=config, checkpoint=path
+    )
+    assert len(broken.failures) == 1
+    assert broken.failures[0].index == 2
+    assert math.isnan(broken.metrics["square"][2])
+
+    store = CheckpointStore(path)
+    store.load()
+    assert len(store) == len(SWEEP_VALUES) - 1  # the failure was NOT persisted
+
+    (gate / "open").touch()  # "fix" the flaky point
+    resumed = sweep("swing", SWEEP_VALUES, evaluate, checkpoint=path, resume=True)
+    assert resumed.failures == ()
+    assert resumed == sweep("swing", SWEEP_VALUES, _sweep_eval)
+
+
+def test_sweep_grid_interrupted_resume_is_bitwise_identical(tmp_path):
+    parameters = {"a": (1.0, 2.0, 3.0), "b": (0.5, 0.25)}
+    reference = sweep_grid(parameters, _grid_eval)
+    path = tmp_path / "grid.jsonl"
+    sweep_grid(parameters, _grid_eval, checkpoint=path)
+    _truncate_to_records(path, 3)
+
+    resumed = sweep_grid(parameters, _grid_eval, checkpoint=path, resume=True)
+    assert resumed == reference
+
+
+# --- fault campaign ---------------------------------------------------------------------
+
+
+def test_fault_campaign_interrupted_resume_is_bitwise_identical(tmp_path):
+    config = FaultCampaignConfig(
+        k=3,
+        injection_rate=0.06,
+        size_flits=2,
+        warmup=20,
+        measure=80,
+        drain_limit=20_000,
+        bers=(2e-3,),
+        protocols=("none", "crc"),
+        seed=11,
+    )
+    reference = run_fault_campaign(config)
+    path = tmp_path / "fault.jsonl"
+    run_fault_campaign(config, checkpoint=path)
+    _truncate_to_records(path, 1)  # keep 1 of 2 points
+
+    resumed = run_fault_campaign(config, checkpoint=path, resume=True)
+    assert resumed.points == reference.points
+
+    changed = FaultCampaignConfig(
+        k=3,
+        injection_rate=0.06,
+        size_flits=2,
+        warmup=20,
+        measure=80,
+        drain_limit=20_000,
+        bers=(2e-3,),
+        protocols=("none", "crc"),
+        seed=12,  # different seed -> different campaign
+    )
+    with pytest.raises(CheckpointError, match="different run configuration"):
+        run_fault_campaign(changed, checkpoint=path, resume=True)
