@@ -2,13 +2,26 @@
 
 The system-level payoff: the same simulated traffic priced with the SRLR
 low-swing datapath versus a conventional full-swing datapath.
+
+This module also benchmarks the two cycle-loop engines against each
+other (reference object-graph loop vs the struct-of-arrays batch engine
+in :mod:`repro.noc.fastsim`) on the standard 8x8 uniform-random
+workload, appending a perf-trajectory record to
+``benchmarks/output/BENCH_noc_traffic.json`` so engine regressions show
+up across commits.  Set ``REPRO_BENCH_CHECK=1`` (the CI smoke job does)
+to fail the run when the measured speedup falls below 5x.
 """
 
 from __future__ import annotations
 
-from conftest import FULL, NOC_MEASURE
+import json
+import os
+import time
+
+from conftest import FULL, NOC_MEASURE, OUTPUT_DIR
 
 from repro.analysis import e14_noc_traffic
+from repro.noc import NocSimulator
 
 
 def test_bench_noc_traffic(benchmark, save_report):
@@ -33,3 +46,88 @@ def test_bench_noc_traffic(benchmark, save_report):
     # Latency grows with injected load under each pattern.
     uniform = [r for r in runs if r["pattern"] == "uniform"]
     assert uniform[-1]["stats"].average_latency >= uniform[0]["stats"].average_latency
+
+
+def _measure_engines(k, rate, pattern, seed, warm, reps, block_ref, block_fast):
+    """Warm steady-state, fine-interleaved engine comparison.
+
+    Both simulators reach steady state first, then short timed blocks of
+    the two engines alternate so load spikes on the host hit both
+    measurements rather than biasing the ratio.
+    """
+    sims = {}
+    for engine in ("reference", "fast"):
+        sim = NocSimulator(
+            k, injection_rate=rate, pattern=pattern, seed=seed, engine=engine
+        )
+        sim.stats.measure_start, sim.stats.measure_end = 0, 10**9
+        for _ in range(warm):
+            sim.step()
+        sims[engine] = sim
+    elapsed = {"reference": 0.0, "fast": 0.0}
+    cycles = {"reference": 0, "fast": 0}
+    for _ in range(reps):
+        for engine, block in (("reference", block_ref), ("fast", block_fast)):
+            sim = sims[engine]
+            t0 = time.perf_counter()
+            for _ in range(block):
+                sim.step()
+            elapsed[engine] += time.perf_counter() - t0
+            cycles[engine] += block
+    cycles_per_sec = {e: cycles[e] / elapsed[e] for e in elapsed}
+    return {
+        "k": k,
+        "rate": rate,
+        "pattern": pattern,
+        "cycles_timed": cycles,
+        "cycles_per_sec": cycles_per_sec,
+        "us_per_cycle": {e: 1e6 / cycles_per_sec[e] for e in cycles_per_sec},
+        "speedup": cycles_per_sec["fast"] / cycles_per_sec["reference"],
+    }
+
+
+def test_bench_engine_speedup(benchmark, save_report):
+    # The acceptance workload: 8x8 mesh, uniform-random traffic.
+    record = benchmark.pedantic(
+        _measure_engines,
+        kwargs={
+            "k": 8,
+            "rate": 0.05,
+            "pattern": "uniform",
+            "seed": 7,
+            "warm": 300 if FULL else 150,
+            "reps": 60 if FULL else 25,
+            "block_ref": 20 if FULL else 10,
+            "block_fast": 200 if FULL else 100,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record["full"] = FULL
+    record["unix_time"] = round(time.time(), 1)
+
+    # Perf trajectory: one JSON record per run, newest last.
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    trajectory_path = OUTPUT_DIR / "BENCH_noc_traffic.json"
+    trajectory = (
+        json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    )
+    trajectory.append(record)
+    trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    lines = ["ENGINE SPEEDUP — 8x8 uniform-random, steady state"]
+    for engine in ("reference", "fast"):
+        lines.append(
+            f"  {engine:<10} {record['us_per_cycle'][engine]:8.1f} us/cycle   "
+            f"{record['cycles_per_sec'][engine]:10.0f} cycles/s"
+        )
+    lines.append(f"  speedup    {record['speedup']:8.2f}x")
+    save_report("BENCH_engine_speedup", "\n".join(lines))
+
+    assert record["speedup"] > 0
+    if os.environ.get("REPRO_BENCH_CHECK") == "1":
+        # CI gate: the batch engine must hold at least a 5x margin even
+        # on noisy shared runners (typical quiet-machine ratio: ~10x).
+        assert record["speedup"] >= 5.0, (
+            f"fast engine speedup regressed: {record['speedup']:.2f}x < 5x"
+        )

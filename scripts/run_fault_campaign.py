@@ -73,6 +73,10 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
     parser.add_argument("--datapath", choices=["srlr", "full_swing"],
                         default="srlr",
                         help="datapath energy model (default: srlr)")
+    parser.add_argument("--engine", choices=["fast", "reference"],
+                        default="fast",
+                        help="NoC cycle-loop engine (default: fast; both "
+                        "produce identical results)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (0 = all cores)")
     parser.add_argument("--seed", type=int, default=7,
@@ -113,6 +117,7 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
             protocols=tuple(args.protocols),
             datapath=args.datapath,
             seed=args.seed,
+            engine=args.engine,
         )
     return FaultCampaignConfig(
         k=args.k,
@@ -126,6 +131,7 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
         protocols=tuple(args.protocols),
         datapath=args.datapath,
         seed=args.seed,
+        engine=args.engine,
     )
 
 

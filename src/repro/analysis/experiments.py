@@ -818,7 +818,10 @@ def e14_noc_traffic(
     data: dict[str, Any] = {"runs": []}
     for pattern in patterns:
         for rate in rates:
-            sim = NocSimulator(k, injection_rate=rate, pattern=pattern, seed=seed)
+            sim = NocSimulator(
+                k, injection_rate=rate, pattern=pattern, seed=seed,
+                engine="fast",
+            )
             stats = sim.run(warmup=150, measure=measure)
             srlr = price_stats(stats, datapath="srlr")
             fs = price_stats(stats, datapath="full_swing")
@@ -969,10 +972,11 @@ def e16_bypass(
     rows = []
     data: dict[str, Any] = {"runs": []}
     for rate in rates:
-        base_sim = NocSimulator(k, injection_rate=rate, seed=seed)
+        base_sim = NocSimulator(k, injection_rate=rate, seed=seed, engine="fast")
         base = base_sim.run(warmup=150, measure=measure)
         byp_sim = NocSimulator(
-            k, config=NocConfig(enable_bypass=True), injection_rate=rate, seed=seed
+            k, config=NocConfig(enable_bypass=True), injection_rate=rate,
+            seed=seed, engine="fast",
         )
         byp = byp_sim.run(warmup=150, measure=measure)
         e_base = price_stats(base)
@@ -1250,6 +1254,7 @@ def e20_routing(
                 injection_rate=rate,
                 pattern=pattern,
                 seed=seed,
+                engine="fast",
             )
             stats = sim.run(warmup=200, measure=measure, drain_limit=60000)
             point[routing] = stats

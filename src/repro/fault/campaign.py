@@ -35,7 +35,7 @@ from repro.fault.injector import FaultLayer
 from repro.fault.models import UniformBer
 from repro.fault.protection import PROTOCOLS, ProtectionConfig
 from repro.mc.ber import ber_upper_bound_many
-from repro.noc.simulator import NocSimulator
+from repro.noc.simulator import ENGINES, NocSimulator
 from repro.noc.topology import MeshTopology
 from repro.noc.traffic import PATTERNS, SyntheticTraffic
 from repro.runtime import (
@@ -65,10 +65,17 @@ class FaultCampaignConfig:
     flit_bits: int = 64
     datapath: str = "srlr"
     seed: int = 7
+    #: Cycle-loop implementation ("fast" or "reference"); both produce
+    #: identical results — see tests/test_noc_fastsim_parity.py.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.k < 2:
             raise ConfigurationError(f"k must be >= 2, got {self.k}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if not 0.0 < self.injection_rate <= 1.0:
             raise ConfigurationError(
                 f"injection_rate must lie in (0, 1], got {self.injection_rate}"
@@ -146,7 +153,9 @@ def _evaluate_point(
         size_flits=config.size_flits,
         seed=sim_seed,
     )
-    sim = NocSimulator(config.k, traffic=traffic, seed=sim_seed)
+    sim = NocSimulator(
+        config.k, traffic=traffic, seed=sim_seed, engine=config.engine
+    )
     protection = ProtectionConfig(protocol=protocol)
     layer = FaultLayer(
         UniformBer(ber),

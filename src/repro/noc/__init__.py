@@ -21,7 +21,8 @@ from repro.noc.routing import (
     xy_route,
     yx_route,
 )
-from repro.noc.simulator import Nic, NocSimulator
+from repro.noc.fastsim import FastNocSimulator
+from repro.noc.simulator import ENGINES, Nic, NocSimulator
 from repro.noc.stats import DeliveryRecord, NocStats
 from repro.noc.topology import OPPOSITE, MeshTopology, NodeId, Port
 from repro.noc.trace import TraceEntry, TraceTraffic, record_trace
@@ -31,6 +32,8 @@ from repro.noc.vc import InputPort, OutputPort, VirtualChannel
 __all__ = [
     "Crossbar",
     "DeliveryRecord",
+    "ENGINES",
+    "FastNocSimulator",
     "Flit",
     "FlitType",
     "InputPort",

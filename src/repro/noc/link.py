@@ -55,13 +55,24 @@ class Link:
         """Stable content-addressed identity of this link (for seeds)."""
         return f"{self.src[0]},{self.src[1]}->{self.dst.node[0]},{self.dst.node[1]}"
 
-    def send(self, flit: Flit, vc: int, cycle: int) -> None:
-        """Put a flit on the wire at ``cycle``."""
+    def dispatch(self, flit: Flit, cycle: int) -> tuple[int, Flit]:
+        """Transit bookkeeping for one traversal, without queuing.
+
+        Counts the traversal and consults the fault channel (if any),
+        returning ``(arrival_cycle, flit_as_delivered)``.  ``send`` queues
+        the result on this link's own in-flight list; the batch engine
+        (:mod:`repro.noc.fastsim`) instead buckets it in its network-wide
+        arrival calendar — both see identical arrival times and channel
+        side effects.
+        """
         self.traversals += 1
         if self.channel is None:
-            self._in_flight.append((cycle + self.latency, flit, vc))
-            return
-        arrival, flit = self.channel.transmit(self, flit, cycle)
+            return cycle + self.latency, flit
+        return self.channel.transmit(self, flit, cycle)
+
+    def send(self, flit: Flit, vc: int, cycle: int) -> None:
+        """Put a flit on the wire at ``cycle``."""
+        arrival, flit = self.dispatch(flit, cycle)
         self._in_flight.append((arrival, flit, vc))
 
     def arrivals(self, cycle: int) -> list[tuple[Flit, int]]:

@@ -92,6 +92,41 @@ class Packet:
         return out
 
 
+def unicast_packet(
+    src: NodeId, dests: frozenset[NodeId], size_flits: int, inject_cycle: int
+) -> Packet:
+    """Hot-path unicast constructor used by traffic generation.
+
+    Bypasses ``__post_init__`` validation for packets whose invariants
+    the caller guarantees by construction: exactly one destination,
+    ``dests`` excludes ``src``, ``size_flits >= 1``, routing ``"xy"``.
+    Produces a packet indistinguishable from ``Packet(...)``.
+    """
+    p = Packet.__new__(Packet)
+    p.src = src
+    p.dests = dests
+    p.size_flits = size_flits
+    p.inject_cycle = inject_cycle
+    p.packet_id = next(_packet_ids)
+    p.routing = "xy"
+    return p
+
+
+def single_flit(packet: Packet) -> Flit:
+    """Hot-path flit constructor for single-flit packets.
+
+    Field-for-field identical to ``packet.flits()[0]`` when
+    ``size_flits == 1``; bypasses dataclass ``__init__`` overhead.
+    """
+    f = Flit.__new__(Flit)
+    f.packet = packet
+    f.seq = 0
+    f.flit_type = FlitType.SINGLE
+    f.dests = packet.dests
+    f.corrupted = False
+    return f
+
+
 @dataclass
 class Flit:
     """One flit in flight.
@@ -132,4 +167,4 @@ class Flit:
         )
 
 
-__all__ = ["Flit", "FlitType", "Packet"]
+__all__ = ["Flit", "FlitType", "Packet", "single_flit", "unicast_packet"]

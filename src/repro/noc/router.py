@@ -54,6 +54,13 @@ class NocConfig:
     #: randomly routes XY or YX; the two orders use disjoint VC classes —
     #: lower half XY, upper half YX — which keeps the union deadlock-free).
     routing: str = "xy"
+    #: Livelock detection (honored identically by both engines): maximum
+    #: post-measurement drain cycles before the run fails loudly, and the
+    #: progress window — consecutive drain cycles with a frozen progress
+    #: signature and no scheduled event that count as a livelock.
+    #: ``run()`` arguments override these per call.
+    drain_limit: int = 4000
+    stall_window: int = 500
 
     def __post_init__(self) -> None:
         if self.routing not in ("xy", "o1turn"):
@@ -74,6 +81,14 @@ class NocConfig:
         if self.pipeline_latency < 0:
             raise ConfigurationError(
                 f"pipeline_latency must be >= 0, got {self.pipeline_latency}"
+            )
+        if self.drain_limit < 0:
+            raise ConfigurationError(
+                f"drain_limit must be >= 0, got {self.drain_limit}"
+            )
+        if self.stall_window < 1:
+            raise ConfigurationError(
+                f"stall_window must be >= 1, got {self.stall_window}"
             )
 
 

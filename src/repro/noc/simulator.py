@@ -89,8 +89,35 @@ class Nic:
         return len(self.queue) + len(self._pending)
 
 
+#: Engines selectable via ``NocSimulator(..., engine=...)``.
+ENGINES = ("reference", "fast")
+
+
 class NocSimulator:
-    """A k x k mesh NoC under a synthetic traffic generator."""
+    """A k x k mesh NoC under a synthetic traffic generator.
+
+    ``engine`` selects the cycle-loop implementation: ``"reference"``
+    (this class — the per-flit golden oracle) or ``"fast"`` (the
+    struct-of-arrays batch engine in :mod:`repro.noc.fastsim`, which
+    produces identical end-of-run statistics for identical seeds on
+    unicast traffic).
+    """
+
+    #: Which cycle-loop implementation this instance runs.
+    engine = "reference"
+
+    def __new__(cls, *args, engine: str | None = None, **kwargs):
+        engine = engine or "reference"
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if engine == "fast" and cls is NocSimulator:
+            # Deferred import: fastsim subclasses this class.
+            from repro.noc.fastsim import FastNocSimulator
+
+            return super().__new__(FastNocSimulator)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -100,6 +127,8 @@ class NocSimulator:
         injection_rate: float = 0.05,
         pattern: str = "uniform",
         seed: int = 7,
+        *,
+        engine: str = "reference",
     ) -> None:
         self.topology = MeshTopology(k)
         self.config = config or NocConfig()
@@ -175,10 +204,15 @@ class NocSimulator:
         self,
         warmup: int = 200,
         measure: int = 600,
-        drain_limit: int = 4000,
-        stall_window: int = 500,
+        drain_limit: int | None = None,
+        stall_window: int | None = None,
     ) -> NocStats:
         """Warm up, measure, then drain measured packets.
+
+        ``drain_limit`` and ``stall_window`` default to the values in
+        :class:`~repro.noc.router.NocConfig` (``config.drain_limit`` /
+        ``config.stall_window``); passing them here overrides the config
+        for this run only.
 
         Raises :class:`LivelockError` (a :class:`ProtocolError`) if the
         network fails to drain within ``drain_limit`` cycles after the
@@ -190,6 +224,10 @@ class NocSimulator:
         layer, either indicates a protocol bug or genuine
         saturation-level livelock, both worth failing loudly on.
         """
+        if drain_limit is None:
+            drain_limit = self.config.drain_limit
+        if stall_window is None:
+            stall_window = self.config.stall_window
         if warmup < 0 or measure <= 0 or drain_limit < 0 or stall_window < 1:
             raise ConfigurationError(
                 "invalid warmup/measure/drain_limit/stall_window"

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.noc.packet import Packet
+from repro.noc.packet import Packet, unicast_packet
 from repro.noc.topology import MeshTopology, NodeId
 
 PATTERNS = (
@@ -114,6 +114,11 @@ class SyntheticTraffic:
             if self.multicast_degree > self.topology.n_nodes - 1:
                 raise ConfigurationError("multicast_degree exceeds the node count")
         self._rng = np.random.default_rng(self.seed)
+        # Cached node walk for the per-cycle Bernoulli loop: this runs
+        # once per node per cycle, so rebuilding the node list (and
+        # re-resolving the bound methods) each call is measurable for
+        # both engines.  The draw sequence is untouched.
+        self._node_list = list(self.topology.nodes())
 
     def _multicast_dests(self, src: NodeId) -> frozenset[NodeId]:
         candidates = [n for n in self.topology.nodes() if n != src]
@@ -124,8 +129,66 @@ class SyntheticTraffic:
         """Packets generated network-wide at ``cycle``."""
         out: list[Packet] = []
         k = self.topology.k
-        for src in self.topology.nodes():
-            if self._rng.random() >= self.injection_rate:
+        rate = self.injection_rate
+        draw = self._rng.random
+        if self.multicast_fraction == 0.0:
+            # Unicast hot paths.  The per-node Bernoulli coin flips are
+            # drawn in batches instead of one scalar ``rng.random()``
+            # call per node, with ``PCG64.advance(-n)`` rewinding any
+            # over-drawn values, so the stream of random draws — and
+            # hence every downstream result for a given seed — is
+            # bit-identical to the scalar loop.  Batch draws fill from
+            # the same ``next_double`` sequence as scalar draws (one
+            # 64-bit generator step per double), which makes the
+            # rewind arithmetic exact.
+            nodes = self._node_list
+            sf = self.size_flits
+            rng = self._rng
+            if self.pattern != "uniform":
+                # Deterministic destination patterns consume no RNG
+                # beyond the Bernoulli scan: one batch, no rewind.
+                vals = rng.random(len(nodes)).tolist()
+                pattern = self.pattern
+                for src, v in zip(nodes, vals):
+                    if v >= rate:
+                        continue
+                    dest = pattern_destination(pattern, src, k, rng)
+                    out.append(
+                        unicast_packet(src, frozenset((dest,)), sf, cycle)
+                    )
+                return out
+            # Uniform random: destination draws interleave with the
+            # Bernoulli stream, so scan in segments — batch up to the
+            # first firing node, rewind the unused tail, draw that
+            # node's destination, repeat on the remainder.
+            integers = rng.integers
+            batch = rng.random
+            advance = rng.bit_generator.advance
+            n = len(nodes)
+            pos = 0
+            while pos < n:
+                remaining = n - pos
+                vals = batch(remaining).tolist()
+                hit = -1
+                for j, v in enumerate(vals):
+                    if v < rate:
+                        hit = j
+                        break
+                if hit < 0:
+                    break
+                unused = remaining - hit - 1
+                if unused:
+                    advance(-unused)
+                src = nodes[pos + hit]
+                while True:
+                    dest = (int(integers(k)), int(integers(k)))
+                    if dest != src:
+                        break
+                out.append(unicast_packet(src, frozenset((dest,)), sf, cycle))
+                pos += hit + 1
+            return out
+        for src in self._node_list:
+            if draw() >= rate:
                 continue
             if (
                 self.multicast_fraction > 0.0
