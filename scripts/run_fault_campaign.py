@@ -77,6 +77,13 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
                         default="fast",
                         help="NoC cycle-loop engine (default: fast; both "
                         "produce identical results)")
+    parser.add_argument("--multicast-fraction", type=float, default=0.0,
+                        metavar="F",
+                        help="share of injected packets that are multicast "
+                        "(default: 0; forces the reference engine with an "
+                        "explicit EngineFallbackWarning when --engine fast)")
+    parser.add_argument("--multicast-degree", type=int, default=4, metavar="D",
+                        help="destinations per multicast packet (default: 4)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (0 = all cores)")
     parser.add_argument("--seed", type=int, default=7,
@@ -118,6 +125,8 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
             datapath=args.datapath,
             seed=args.seed,
             engine=args.engine,
+            multicast_fraction=args.multicast_fraction,
+            multicast_degree=args.multicast_degree,
         )
     return FaultCampaignConfig(
         k=args.k,
@@ -132,6 +141,8 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
         datapath=args.datapath,
         seed=args.seed,
         engine=args.engine,
+        multicast_fraction=args.multicast_fraction,
+        multicast_degree=args.multicast_degree,
     )
 
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Campaign-service worker: lease tasks from a shared database and run them.
+
+Run:  PYTHONPATH=src python scripts/run_worker.py --db campaigns.sqlite [--drain]
+
+Start as many of these as you like (any machine that can see the
+database file); each leases one task row at a time under a heartbeat +
+lease-expiry protocol, executes it through the resilient executor, and
+commits a bitwise-deterministic payload.  Killing a worker — even with
+SIGKILL — loses nothing: its leases expire and other workers pick the
+rows back up.  See docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.runtime import ResilienceConfig, ResultCache
+from repro.service import run_worker
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--db", required=True, metavar="PATH",
+                        help="campaign database file")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable worker name (default: host:pid)")
+    parser.add_argument("--campaign", default=None,
+                        help="only lease tasks of this campaign")
+    parser.add_argument("--lease-seconds", type=float, default=60.0,
+                        help="lease duration; a dead worker's tasks return "
+                        "to the queue after this long (default 60)")
+    parser.add_argument("--poll-seconds", type=float, default=0.5,
+                        help="idle polling interval (default 0.5)")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        help="stop after executing this many tasks")
+    parser.add_argument("--drain", action="store_true",
+                        help="exit once every matching task row is settled "
+                        "(instead of polling for new work forever)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="DB-level attempts before a task is parked as "
+                        "failed (default 3)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-task soft timeout in seconds")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="shared ResultCache directory (content-addressed "
+                        "task payload reuse across workers and campaigns)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="executor processes inside this worker "
+                        "(default 1; the usual scale-out axis is more "
+                        "workers, not more jobs)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    resilience = ResilienceConfig(timeout=args.timeout)
+    cache = ResultCache(args.cache) if args.cache else None
+    report = run_worker(
+        args.db,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+        campaign=args.campaign,
+        max_tasks=args.max_tasks,
+        drain=args.drain,
+        max_attempts=args.max_attempts,
+        resilience=resilience,
+        cache=cache,
+        n_jobs=args.jobs,
+    )
+    print(
+        f"worker {report.worker_id}: {report.tasks_done} done, "
+        f"{report.tasks_failed} failed, {report.lost_races} lost race(s), "
+        f"{report.cache_hits} cache hit(s)"
+    )
+    for line in report.failures:
+        print(f"  failed {line}", file=sys.stderr)
+    return 1 if report.tasks_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Campaign-service CLI: submit | status | results | retry-failed.
+
+Run:  PYTHONPATH=src python scripts/service.py --db campaigns.sqlite <cmd> ...
+
+Thin entry point over :mod:`repro.service.cli`; see docs/SERVICE.md for
+the workflow (submit a campaign, start workers with
+``scripts/run_worker.py``, watch ``status``, merge with ``results``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -113,7 +113,7 @@ def sweep(
     return SweepResult(
         parameter=parameter,
         values=tuple(float(v) for v in values),
-        metrics=_collect_metrics(values, evaluated),
+        metrics=collect_metrics(values, evaluated),
         failures=tuple(failures),
     )
 
@@ -179,7 +179,7 @@ def _evaluate_points(
     return evaluated, failures
 
 
-def _collect_metrics(
+def collect_metrics(
     labels: Sequence[object], evaluated: Sequence[object]
 ) -> dict[str, tuple[float, ...]]:
     """Transpose per-point metric dicts into named series, validating keys.
@@ -307,9 +307,16 @@ def sweep_grid(
     return GridResult(
         parameters=tuple(parameters),
         points=tuple(points),
-        metrics=_collect_metrics(points, evaluated),
+        metrics=collect_metrics(points, evaluated),
         failures=tuple(failures),
     )
 
 
-__all__ = ["GridResult", "SweepResult", "grid_points", "sweep", "sweep_grid"]
+__all__ = [
+    "GridResult",
+    "SweepResult",
+    "collect_metrics",
+    "grid_points",
+    "sweep",
+    "sweep_grid",
+]

@@ -39,8 +39,10 @@ from repro.dse.objectives import (
     Fig8Evaluator,
     InfeasibleDesign,
     Objective,
+    EVALUATORS,
     SizingEvaluator,
     Zdt1Evaluator,
+    make_evaluator,
     infeasible_vector,
     signed_vector,
 )
@@ -91,9 +93,11 @@ __all__ = [
     "Parameter",
     "RunStore",
     "SearchStrategy",
+    "EVALUATORS",
     "SizingEvaluator",
     "StoreError",
     "Zdt1Evaluator",
+    "make_evaluator",
     "candidate_key",
     "candidate_seed",
     "continuous",

@@ -226,12 +226,33 @@ class Zdt1Evaluator:
         return {"f1": f1, "f2": g * (1.0 - math.sqrt(f1 / g))}
 
 
+#: Named evaluator classes submittable by JSON configs (the campaign
+#: service and other front ends that cannot ship arbitrary callables
+#: reference evaluators by name + keyword arguments).
+EVALUATORS = {
+    "fig8": Fig8Evaluator,
+    "sizing": SizingEvaluator,
+    "zdt1": Zdt1Evaluator,
+}
+
+
+def make_evaluator(name: str, **kwargs):
+    """Instantiate a registered evaluator from its name and kwargs."""
+    if name not in EVALUATORS:
+        raise ConfigurationError(
+            f"unknown evaluator {name!r}; choose from {sorted(EVALUATORS)}"
+        )
+    return EVALUATORS[name](**kwargs)
+
+
 __all__ = [
+    "EVALUATORS",
     "Fig8Evaluator",
     "InfeasibleDesign",
     "Objective",
     "SizingEvaluator",
     "Zdt1Evaluator",
     "infeasible_vector",
+    "make_evaluator",
     "signed_vector",
 ]

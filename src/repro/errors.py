@@ -59,3 +59,20 @@ class LivelockError(ProtocolError):
     :class:`ProtocolError` so callers that treated failure-to-drain as a
     protocol failure keep working; the message carries a per-component
     diagnostic of where traffic is stuck."""
+
+
+class ServiceError(ReproError):
+    """Base class for campaign-service (:mod:`repro.service`) errors."""
+
+
+class CampaignMismatchError(ServiceError):
+    """A submission tried to attach to an existing campaign name with a
+    different configuration.  Mirrors the refusal semantics of
+    :class:`CheckpointError`: identity is the content hash of the
+    canonical config, so a byte-identical resubmission is a no-op while
+    any change refuses loudly instead of silently mixing task rows."""
+
+
+class LeaseError(ServiceError):
+    """A worker operated on a task row it does not (or no longer does)
+    hold a live lease on."""

@@ -30,6 +30,7 @@ details, and ``scripts/run_fault_campaign.py`` for the study CLI.
 """
 
 from repro.fault.campaign import (
+    EngineFallbackWarning,
     FaultCampaignConfig,
     FaultCampaignResult,
     FaultPointResult,
@@ -65,6 +66,7 @@ __all__ = [
     "CompositeFault",
     "CrosstalkBurst",
     "DeadLinks",
+    "EngineFallbackWarning",
     "FAULT_MODELS",
     "FaultCampaignConfig",
     "FaultCampaignResult",

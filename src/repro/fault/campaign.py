@@ -26,6 +26,7 @@ processes without a serial fallback.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -44,8 +45,15 @@ from repro.runtime import (
     TaskFailure,
     open_checkpoint,
 )
+from repro.runtime.cache import content_key
 from repro.runtime.executor import ParallelExecutor
 from repro.runtime.seeds import derived_seed
+
+
+class EngineFallbackWarning(RuntimeWarning):
+    """A campaign point could not run on the requested engine and fell
+    back to the reference simulator (results are still exact — the
+    reference loop is the golden oracle — but slower)."""
 
 
 @dataclass(frozen=True)
@@ -66,8 +74,14 @@ class FaultCampaignConfig:
     datapath: str = "srlr"
     seed: int = 7
     #: Cycle-loop implementation ("fast" or "reference"); both produce
-    #: identical results — see tests/test_noc_fastsim_parity.py.
+    #: identical results — see tests/test_noc_fastsim_parity.py.  A
+    #: multicast mix forces the reference engine (the fast engine is
+    #: unicast-only) with an :class:`EngineFallbackWarning`.
     engine: str = "fast"
+    #: Share of injected packets that are multicast (single-flit, random
+    #: destination set of ``multicast_degree``); 0 keeps pure unicast.
+    multicast_fraction: float = 0.0
+    multicast_degree: int = 4
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -84,6 +98,11 @@ class FaultCampaignConfig:
             raise ConfigurationError(
                 f"unknown pattern {self.pattern!r}; choose from {PATTERNS}"
             )
+        if not 0.0 <= self.multicast_fraction <= 1.0:
+            raise ConfigurationError(
+                f"multicast_fraction must lie in [0, 1], "
+                f"got {self.multicast_fraction}"
+            )
         if not self.bers:
             raise ConfigurationError("campaign needs at least one BER point")
         for ber in self.bers:
@@ -94,6 +113,32 @@ class FaultCampaignConfig:
             raise ConfigurationError(
                 f"protocols must be a non-empty subset of {PROTOCOLS}"
             )
+
+    def content_hash(self) -> str:
+        """The content-hash identity of this campaign configuration."""
+        return content_key("fault-campaign/v1", self)
+
+    def effective_engine(self, warn: bool = True) -> str:
+        """The engine a point will actually run on.
+
+        The fast engine is unicast-only; a multicast mix falls back to
+        the reference oracle.  The fallback is *loud* — an
+        :class:`EngineFallbackWarning` naming the campaign's config hash
+        — so a surprisingly slow campaign is attributable, never a bare
+        silent reference-engine run.
+        """
+        if self.engine == "fast" and self.multicast_fraction > 0.0:
+            if warn:
+                warnings.warn(
+                    f"campaign {self.content_hash()[:16]}: engine='fast' "
+                    f"does not support multicast traffic "
+                    f"(multicast_fraction={self.multicast_fraction}); "
+                    f"falling back to the reference engine",
+                    EngineFallbackWarning,
+                    stacklevel=3,
+                )
+            return "reference"
+        return self.engine
 
     def tasks(self) -> list[tuple["FaultCampaignConfig", float, str]]:
         return [
@@ -151,10 +196,17 @@ def _evaluate_point(
         config.injection_rate,
         config.pattern,
         size_flits=config.size_flits,
+        multicast_fraction=config.multicast_fraction,
+        multicast_degree=config.multicast_degree,
         seed=sim_seed,
     )
+    # warn=False: the campaign driver already warned once in the parent;
+    # worker processes would emit invisible duplicates.
     sim = NocSimulator(
-        config.k, traffic=traffic, seed=sim_seed, engine=config.engine
+        config.k,
+        traffic=traffic,
+        seed=sim_seed,
+        engine=config.effective_engine(warn=False),
     )
     protection = ProtectionConfig(protocol=protocol)
     layer = FaultLayer(
@@ -239,17 +291,17 @@ def _evaluate_point(
     )
 
 
-def _point_key(ber: float, protocol: str) -> str:
+def point_key(ber: float, protocol: str) -> str:
     """The checkpoint-record key of one campaign point."""
     return f"{ber!r}/{protocol}"
 
 
-def _point_payload(point: FaultPointResult) -> dict:
+def point_payload(point: FaultPointResult) -> dict:
     """JSON checkpoint payload (floats round-trip exactly)."""
     return asdict(point)
 
 
-def _point_from_payload(payload: dict) -> FaultPointResult:
+def point_from_payload(payload: dict) -> FaultPointResult:
     fields = dict(payload)
     fields["per_link_errors"] = tuple(
         (str(t), int(e), int(n)) for t, e, n in fields["per_link_errors"]
@@ -308,6 +360,7 @@ def run_fault_campaign(
     from (campaign seed, point identity).
     """
     config = config or FaultCampaignConfig()
+    config.effective_engine()  # warn (once, in the parent) on a fallback
     tasks = config.tasks()
     store = open_checkpoint(
         checkpoint,
@@ -316,11 +369,11 @@ def run_fault_campaign(
     )
     done: dict[str, FaultPointResult] = {}
     if store is not None:
-        done = {k: _point_from_payload(p) for k, p in store.items()}
+        done = {k: point_from_payload(p) for k, p in store.items()}
     pending = [
         (i, task)
         for i, task in enumerate(tasks)
-        if _point_key(task[1], task[2]) not in done
+        if point_key(task[1], task[2]) not in done
     ]
 
     computed: dict[int, FaultPointResult | TaskFailure] = {}
@@ -333,7 +386,7 @@ def run_fault_campaign(
                 for j, value in zip(indices, block):
                     if not isinstance(value, TaskFailure):
                         _, ber, protocol = pending[j][1]
-                        store.append(_point_key(ber, protocol), _point_payload(value))
+                        store.append(point_key(ber, protocol), point_payload(value))
 
         results = executor.map(
             _evaluate_point, [task for _, task in pending], on_result=on_result
@@ -346,7 +399,7 @@ def run_fault_campaign(
     points: list[FaultPointResult] = []
     failures: list[TaskFailure] = []
     for i, task in enumerate(tasks):
-        value = done.get(_point_key(task[1], task[2]), computed.get(i))
+        value = done.get(point_key(task[1], task[2]), computed.get(i))
         if isinstance(value, TaskFailure):
             failures.append(
                 TaskFailure(
@@ -439,10 +492,14 @@ def format_fault_report(result: FaultCampaignResult) -> str:
 
 
 __all__ = [
+    "EngineFallbackWarning",
     "FaultCampaignConfig",
     "FaultCampaignResult",
     "FaultPointResult",
     "format_fault_report",
+    "point_from_payload",
+    "point_key",
+    "point_payload",
     "protection_crossover",
     "run_fault_campaign",
 ]

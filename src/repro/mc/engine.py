@@ -121,7 +121,7 @@ def simulate_die(
     )
 
 
-def _run_payload(run: McRun) -> dict:
+def run_payload(run: McRun) -> dict:
     """The JSON checkpoint payload of one die (floats round-trip exactly)."""
     return {
         "seed": run.seed,
@@ -133,7 +133,7 @@ def _run_payload(run: McRun) -> dict:
     }
 
 
-def _run_from_payload(payload: dict) -> McRun:
+def run_from_payload(payload: dict) -> McRun:
     return McRun(
         seed=int(payload["seed"]),
         ok=bool(payload["ok"]),
@@ -240,7 +240,7 @@ def _run_campaign(
 ) -> McResult:
     done: dict[int, McRun] = {}
     if store is not None:
-        done = {int(k): _run_from_payload(p) for k, p in store.items()}
+        done = {int(k): run_from_payload(p) for k, p in store.items()}
     pending = [(i, seed) for i, seed in enumerate(seeds) if i not in done]
 
     computed: dict[int, McRun | TaskFailure] = {}
@@ -264,7 +264,7 @@ def _run_campaign(
                 # never checkpointed — a resumed run retries it.
                 for j, value in zip(indices, values):
                     if not isinstance(value, TaskFailure):
-                        store.append(str(pending[j][0]), _run_payload(value))
+                        store.append(str(pending[j][0]), run_payload(value))
 
         values = executor.map(worker, [seed for _, seed in pending], on_result=on_result)
         for (i, _), value in zip(pending, values):
@@ -365,6 +365,8 @@ __all__ = [
     "McRun",
     "default_stress_pattern",
     "immunity_ratio",
+    "run_from_payload",
     "run_monte_carlo",
+    "run_payload",
     "simulate_die",
 ]

@@ -11,7 +11,13 @@ crash-safe JSONL checkpoint stores that give every long-running
 campaign ``checkpoint=``/``resume=`` (:mod:`repro.runtime.checkpoint`).
 """
 
-from repro.runtime.cache import MISS, ResultCache, content_key, stable_token
+from repro.runtime.cache import (
+    MISS,
+    CacheStats,
+    ResultCache,
+    content_key,
+    stable_token,
+)
 from repro.runtime.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointStore,
@@ -43,6 +49,7 @@ from repro.runtime.seeds import (
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "CacheStats",
     "CheckpointStore",
     "ChunkRecord",
     "FAILURE_KINDS",

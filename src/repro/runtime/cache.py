@@ -16,6 +16,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -77,6 +78,40 @@ def content_key(*parts: Any) -> str:
         h.update(stable_token(part).encode())
         h.update(b"\x1f")
     return h.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """One snapshot of a :class:`ResultCache`: disk contents + counters.
+
+    ``entries``/``total_bytes``/``oldest_age``/``newest_age`` describe
+    what is on disk right now (shared across every process using the
+    cache root); the counters (``hits``/``misses``/``corrupt``/
+    ``put_errors``) belong to the inspecting process only.
+    """
+
+    root: str
+    entries: int
+    total_bytes: int
+    oldest_age: float
+    newest_age: float
+    hits: int
+    misses: int
+    corrupt: int
+    put_errors: int
+
+    def describe(self) -> str:
+        age = (
+            f", ages {self.newest_age:.0f}s..{self.oldest_age:.0f}s"
+            if self.entries
+            else ""
+        )
+        return (
+            f"cache at {self.root}: {self.entries} entries, "
+            f"{self.total_bytes} bytes{age}; this process: "
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.corrupt} corrupt, {self.put_errors} failed writes"
+        )
 
 
 class ResultCache:
@@ -151,6 +186,57 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
+    def _entries(self) -> list[Path]:
+        return [p for p in self.root.glob("??/*.pkl") if p.is_file()]
+
+    def stats(self, now: float | None = None) -> CacheStats:
+        """Inspect the cache: on-disk entry count/bytes/ages + counters.
+
+        Entries written by *other* processes count too (the store is
+        shared); the hit/miss/put-error counters are this process's own.
+        """
+        now = time.time() if now is None else now
+        sizes: list[int] = []
+        ages: list[float] = []
+        for path in self._entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # pruned or replaced under us
+            sizes.append(st.st_size)
+            ages.append(max(0.0, now - st.st_mtime))
+        return CacheStats(
+            root=str(self.root),
+            entries=len(sizes),
+            total_bytes=sum(sizes),
+            oldest_age=max(ages, default=0.0),
+            newest_age=min(ages, default=0.0),
+            hits=self.hits,
+            misses=self.misses,
+            corrupt=self.corrupt,
+            put_errors=self.put_errors,
+        )
+
+    def prune(self, max_age: float, now: float | None = None) -> int:
+        """Delete entries not modified within the last ``max_age`` seconds.
+
+        Returns how many entries were removed.  Concurrent readers are
+        safe: a pruned entry simply reads as a miss and is recomputed.
+        ``max_age=0`` empties the cache.
+        """
+        if max_age < 0.0:
+            raise ValueError(f"max_age must be >= 0, got {max_age}")
+        now = time.time() if now is None else now
+        removed = 0
+        for path in self._entries():
+            try:
+                if now - path.stat().st_mtime >= max_age:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue  # someone else pruned it first
+        return removed
+
     def summary(self) -> str:
         put_note = (
             f", {self.put_errors} failed writes" if self.put_errors else ""
@@ -161,4 +247,4 @@ class ResultCache:
         )
 
 
-__all__ = ["MISS", "ResultCache", "content_key", "stable_token"]
+__all__ = ["MISS", "CacheStats", "ResultCache", "content_key", "stable_token"]

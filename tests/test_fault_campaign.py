@@ -4,11 +4,14 @@ report plumbing."""
 from __future__ import annotations
 
 import math
+import warnings
+from dataclasses import asdict
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.fault import (
+    EngineFallbackWarning,
     FaultCampaignConfig,
     format_fault_report,
     protection_crossover,
@@ -145,3 +148,69 @@ class TestPlumbing:
                 assert getattr(point, name) is not None
             assert not hasattr(point, "packet_ids")
             assert not hasattr(point, "timestamp")
+
+
+class TestMulticastEngineFallback:
+    """engine='fast' + multicast must fall back *loudly* (naming the
+    campaign's config hash), never silently — and the fallback run must
+    equal an explicit reference-engine run bitwise."""
+
+    CONFIG = dict(
+        k=2,
+        warmup=20,
+        measure=60,
+        bers=(1e-3,),
+        protocols=("none",),
+        seed=7,
+        multicast_fraction=0.25,
+        multicast_degree=2,  # a k=2 mesh has only 3 possible destinations
+    )
+
+    def test_fallback_warns_and_names_config_hash(self):
+        config = FaultCampaignConfig(engine="fast", **self.CONFIG)
+        with pytest.warns(EngineFallbackWarning) as record:
+            assert config.effective_engine() == "reference"
+        [warning] = record
+        message = str(warning.message)
+        assert config.content_hash()[:16] in message
+        assert "multicast" in message
+
+    def test_run_fault_campaign_warns_once(self):
+        config = FaultCampaignConfig(engine="fast", **self.CONFIG)
+        with pytest.warns(EngineFallbackWarning):
+            run_fault_campaign(config)
+
+    def test_fallback_matches_explicit_reference_bitwise(self):
+        fast = FaultCampaignConfig(engine="fast", **self.CONFIG)
+        reference = FaultCampaignConfig(engine="reference", **self.CONFIG)
+        with pytest.warns(EngineFallbackWarning):
+            fell_back = run_fault_campaign(fast)
+        baseline = run_fault_campaign(reference)
+        assert [asdict(p) for p in fell_back.points] == [
+            asdict(p) for p in baseline.points
+        ]
+
+    def test_no_multicast_no_warning(self):
+        config = FaultCampaignConfig(engine="fast", k=2, warmup=20,
+                                     measure=60, seed=7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EngineFallbackWarning)
+            assert config.effective_engine() == "fast"
+
+    def test_reference_engine_never_warns(self):
+        config = FaultCampaignConfig(engine="reference", **self.CONFIG)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EngineFallbackWarning)
+            assert config.effective_engine() == "reference"
+
+    def test_multicast_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultCampaignConfig(multicast_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultCampaignConfig(multicast_fraction=-0.1)
+
+    def test_multicast_changes_config_hash(self):
+        base = FaultCampaignConfig(**self.CONFIG)
+        bumped_fields = dict(self.CONFIG, multicast_fraction=0.5)
+        assert base.content_hash() != \
+            FaultCampaignConfig(**bumped_fields).content_hash()

@@ -25,6 +25,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.runtime import (
+    MISS,
     ParallelExecutor,
     ResilienceConfig,
     ResultCache,
@@ -306,3 +307,56 @@ def test_cache_put_keyboard_interrupt_still_propagates(tmp_path, monkeypatch):
     with pytest.raises(KeyboardInterrupt):
         cache.put("b" * 64, 1)
     assert [p for p in tmp_path.rglob("*.tmp")] == []
+
+
+# --- ResultCache.stats / prune (service satellite) -------------------------------------
+
+
+def test_cache_stats_counts_entries_and_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    empty = cache.stats()
+    assert (empty.entries, empty.total_bytes) == (0, 0)
+    assert "0 entries" in empty.describe()
+
+    cache.put("a" * 64, [1, 2, 3])
+    cache.put("b" * 64, {"x": 1})
+    assert cache.get("a" * 64) == [1, 2, 3]
+    assert cache.get("c" * 64) is MISS
+
+    stats = cache.stats()
+    assert stats.entries == 2
+    assert stats.total_bytes > 0
+    assert (stats.hits, stats.misses, stats.put_errors) == (1, 1, 0)
+    assert str(tmp_path) in stats.describe()
+
+
+def test_cache_stats_sees_other_writers(tmp_path):
+    """The store is shared: entries written by another handle (process)
+    show up in on-disk stats even though the local counters are zero."""
+    ResultCache(tmp_path).put("a" * 64, 1)
+    fresh = ResultCache(tmp_path)
+    stats = fresh.stats()
+    assert stats.entries == 1
+    assert (stats.hits, stats.misses) == (0, 0)
+
+
+def test_cache_prune_by_age(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("a" * 64, 1)
+    cache.put("b" * 64, 2)
+    old = cache._path("a" * 64)
+    now = time.time()
+    os.utime(old, (now - 100.0, now - 100.0))
+
+    assert cache.prune(max_age=50.0, now=now) == 1
+    assert cache.get("a" * 64) is MISS  # pruned -> recomputable miss
+    assert cache.get("b" * 64) == 2  # young entry survived
+    assert cache.stats(now=now).entries == 1
+
+    assert cache.prune(max_age=0.0, now=now + 1.0) == 1  # empties the rest
+    assert cache.stats().entries == 0
+
+
+def test_cache_prune_rejects_negative_age(tmp_path):
+    with pytest.raises(ValueError, match="max_age"):
+        ResultCache(tmp_path).prune(max_age=-1.0)

@@ -1,0 +1,272 @@
+"""Campaign store semantics: config-hash identity, leases, races.
+
+Everything here drives :class:`repro.service.CampaignDB` directly with
+explicit ``now=`` timestamps, so lease expiry is tested without
+sleeping.  The two satellite guarantees under test:
+
+* **identity** — resubmitting a byte-identical config reuses the
+  existing rows (completed work is never recomputed); a changed config
+  under the same name refuses to attach;
+* **leasing** — an expired lease is claimable by another worker, and
+  the lease-owner guard makes double completion impossible no matter
+  how the race interleaves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CampaignMismatchError, ServiceError
+from repro.service import (
+    CampaignDB,
+    campaign_config_key,
+    canonical_config_json,
+)
+
+CONFIG = {"alpha": 1.5, "beta": [1, 2, 3], "name": "demo"}
+TASKS = [(f"task/{i}", i, {"i": i}) for i in range(4)]
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with CampaignDB(tmp_path / "svc.sqlite") as handle:
+        yield handle
+
+
+def submit(db, name="c0", kind="demo", config=CONFIG, tasks=TASKS, now=100.0):
+    return db.submit(name, kind, config, tasks, now=now)
+
+
+# --- config-hash identity -------------------------------------------------------------
+
+
+def test_submit_creates_rows(db):
+    receipt = submit(db)
+    assert receipt.created
+    assert receipt.n_tasks == len(TASKS)
+    assert receipt.n_done == 0
+    assert receipt.config_key == campaign_config_key("demo", CONFIG)
+    status = db.status("c0")[0]
+    assert (status.n_open, status.n_done) == (len(TASKS), 0)
+
+
+def test_resubmit_identical_config_is_noop(db):
+    first = submit(db)
+    # Complete one row, then resubmit the byte-identical config.
+    [task] = db.lease("w0", now=100.0)
+    assert db.complete("w0", task.campaign_id, task.task_key, {"v": 1})
+    again = submit(db)
+    assert not again.created
+    assert again.campaign_id == first.campaign_id
+    assert again.config_key == first.config_key
+    assert again.n_tasks == len(TASKS)  # no duplicate rows
+    assert again.n_done == 1  # completed work survived the resubmit
+
+
+def test_resubmit_reordered_dict_is_same_identity(db):
+    submit(db)
+    reordered = {k: CONFIG[k] for k in reversed(list(CONFIG))}
+    assert canonical_config_json(reordered) == canonical_config_json(CONFIG)
+    receipt = submit(db, config=reordered)
+    assert not receipt.created
+
+
+def test_changed_config_refuses_to_attach(db):
+    submit(db)
+    changed = dict(CONFIG, alpha=1.5000001)
+    with pytest.raises(CampaignMismatchError, match="refusing to attach"):
+        submit(db, config=changed)
+    # The refusal names both config hashes (truncated).
+    with pytest.raises(CampaignMismatchError,
+                       match=campaign_config_key("demo", CONFIG)[:16]):
+        submit(db, config=changed)
+
+
+def test_changed_kind_refuses_to_attach(db):
+    submit(db)
+    with pytest.raises(CampaignMismatchError):
+        submit(db, kind="other")
+
+
+def test_same_config_different_kind_different_key():
+    assert campaign_config_key("a", CONFIG) != campaign_config_key("b", CONFIG)
+
+
+def test_attach_inserts_only_missing_rows(db):
+    submit(db, tasks=TASKS[:2])
+    receipt = submit(db, tasks=TASKS)  # same config, fuller expansion
+    assert receipt.n_tasks == len(TASKS)
+
+
+# --- leasing and expiry ---------------------------------------------------------------
+
+
+def test_lease_claims_in_index_order_and_bumps_attempts(db):
+    submit(db)
+    leased = db.lease("w0", n=2, now=100.0)
+    assert [t.task_key for t in leased] == ["task/0", "task/1"]
+    assert all(t.attempts == 1 for t in leased)
+    assert db.leased_keys("w0") == [(leased[0].campaign_id, "task/0"),
+                                    (leased[0].campaign_id, "task/1")]
+
+
+def test_live_lease_is_not_claimable(db):
+    submit(db)
+    db.lease("w0", n=4, lease_seconds=60.0, now=100.0)
+    assert db.lease("w1", n=4, now=150.0) == []
+
+
+def test_expired_lease_returns_to_queue(db):
+    submit(db, tasks=TASKS[:1])
+    [task] = db.lease("w0", lease_seconds=60.0, now=100.0)
+    # Before expiry: nothing for w1.  After: w1 claims the same row.
+    assert db.lease("w1", now=159.0, campaign="c0") == []
+    [reclaimed] = db.lease("w1", now=161.0, campaign="c0")
+    assert reclaimed.task_key == task.task_key
+    assert reclaimed.attempts == 2
+
+
+def test_heartbeat_extends_only_owned_leases(db):
+    submit(db, tasks=TASKS[:1])
+    [task] = db.lease("w0", lease_seconds=10.0, now=100.0)
+    held = [(task.campaign_id, task.task_key)]
+    assert db.heartbeat("w0", held, lease_seconds=10.0, now=105.0) == 1
+    # Extended to 115: still not claimable at 112.
+    assert db.lease("w1", now=112.0) == []
+    # A stranger heartbeating the same row extends nothing.
+    assert db.heartbeat("w1", held, lease_seconds=100.0, now=105.0) == 0
+
+
+def test_release_returns_leases_to_queue(db):
+    submit(db)
+    db.lease("w0", n=2, lease_seconds=60.0, now=100.0)
+    assert db.release("w0") == 2
+    assert len(db.lease("w1", n=4, now=101.0)) == 4
+
+
+def test_lease_campaign_filter(db):
+    submit(db, name="a")
+    submit(db, name="b")
+    leased = db.lease("w0", n=10, campaign="b", now=100.0)
+    assert len(leased) == len(TASKS)
+    assert all(t.campaign_name == "b" for t in leased)
+
+
+def test_lease_size_validated(db):
+    submit(db)
+    with pytest.raises(ServiceError):
+        db.lease("w0", n=0)
+
+
+# --- completion races -----------------------------------------------------------------
+
+
+def test_double_completion_impossible(db):
+    """Two workers race on an expired lease: exactly one commit wins."""
+    submit(db)
+    [stale] = db.lease("w0", lease_seconds=5.0, now=100.0)
+    [fresh] = db.lease("w1", lease_seconds=60.0, now=110.0)  # re-leases it
+    assert fresh.task_key == stale.task_key
+    # The evicted worker finishes late: its commit is rejected.
+    assert not db.complete("w0", stale.campaign_id, stale.task_key, {"v": 0})
+    assert db.complete("w1", fresh.campaign_id, fresh.task_key, {"v": 1})
+    status = db.status("c0")[0]
+    assert (status.n_done, status.n_leased) == (1, 0)
+    assert db.payloads("c0")[stale.task_key] == {"v": 1}
+
+
+def test_double_completion_impossible_reversed(db):
+    """Same race, other interleaving: the re-leasing worker wins first,
+    the evicted one's late commit still bounces (status is 'done')."""
+    submit(db)
+    [stale] = db.lease("w0", lease_seconds=5.0, now=100.0)
+    [fresh] = db.lease("w1", lease_seconds=60.0, now=110.0)
+    assert db.complete("w1", fresh.campaign_id, fresh.task_key, {"v": 1})
+    assert not db.complete("w0", stale.campaign_id, stale.task_key, {"v": 0})
+    assert db.payloads("c0")[stale.task_key] == {"v": 1}
+
+
+def test_complete_requires_a_lease(db):
+    receipt = submit(db)
+    assert not db.complete("w0", receipt.campaign_id, "task/0", {"v": 1})
+    assert db.status("c0")[0].n_done == 0
+
+
+# --- failure, parking, retry ----------------------------------------------------------
+
+
+def test_fail_requeues_until_attempts_exhausted(db):
+    submit(db)
+    [task] = db.lease("w0", now=100.0)
+    assert db.fail("w0", task.campaign_id, task.task_key, "boom",
+                   max_attempts=2) == "requeued"
+    [task] = db.lease("w0", now=101.0, campaign="c0")
+    assert task.attempts == 2
+    assert db.fail("w0", task.campaign_id, task.task_key, "boom",
+                   max_attempts=2) == "failed"
+    status = db.status("c0")[0]
+    assert status.n_failed == 1
+    assert db.task_errors("c0") == [(task.task_key, "boom")]
+
+
+def test_fail_after_losing_lease_is_lost(db):
+    submit(db)
+    [stale] = db.lease("w0", lease_seconds=5.0, now=100.0)
+    db.lease("w1", lease_seconds=60.0, now=110.0)
+    assert db.fail("w0", stale.campaign_id, stale.task_key, "boom") == "lost"
+
+
+def test_retry_failed_requeues_and_resets_attempts(db):
+    submit(db)
+    [task] = db.lease("w0", now=100.0)
+    db.fail("w0", task.campaign_id, task.task_key, "boom", max_attempts=1)
+    assert db.retry_failed("c0") == 1
+    [task] = db.lease("w0", now=101.0, campaign="c0")
+    assert task.attempts == 1  # budget restarted
+    assert db.status("c0")[0].n_failed == 0
+
+
+# --- bookkeeping ----------------------------------------------------------------------
+
+
+def test_record_worker_accumulates_counters(db):
+    db.record_worker("w0", tasks_done=2, cache_put_errors=1, now=10.0)
+    db.record_worker("w0", tasks_done=1, cache_hits=5, now=20.0)
+    [worker] = db.workers()
+    assert worker.worker_id == "w0"
+    assert (worker.tasks_done, worker.cache_hits, worker.cache_put_errors) \
+        == (3, 5, 1)
+    assert (worker.started, worker.last_seen) == (10.0, 20.0)
+
+
+def test_status_unknown_campaign_raises(db):
+    with pytest.raises(ServiceError, match="no campaign"):
+        db.status("ghost")
+
+
+def test_payloads_ordered_by_task_index(db):
+    submit(db)
+    for task in reversed(db.lease("w0", n=4, now=100.0)):
+        db.complete("w0", task.campaign_id, task.task_key,
+                    {"i": task.task_index})
+    assert list(db.payloads("c0")) == [k for k, _i, _s in TASKS]
+
+
+def test_two_connections_share_state(tmp_path):
+    """Two handles on the same file (as two worker processes would hold)
+    observe each other's writes — the WAL-mode cross-process story."""
+    path = tmp_path / "svc.sqlite"
+    with CampaignDB(path) as a, CampaignDB(path) as b:
+        submit(a)
+        [task] = b.lease("w1", now=100.0)
+        assert b.complete("w1", task.campaign_id, task.task_key, {"v": 1})
+        assert a.status("c0")[0].n_done == 1
+
+
+def test_incomplete_count(db):
+    submit(db)
+    assert db.incomplete_count() == len(TASKS)
+    [task] = db.lease("w0", now=100.0)
+    assert db.incomplete_count("c0") == len(TASKS)  # leased still pending
+    db.complete("w0", task.campaign_id, task.task_key, {})
+    assert db.incomplete_count() == len(TASKS) - 1
