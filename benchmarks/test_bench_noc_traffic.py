@@ -21,7 +21,7 @@ import time
 from conftest import FULL, NOC_MEASURE, OUTPUT_DIR
 
 from repro.analysis import e14_noc_traffic
-from repro.noc import NocSimulator
+from repro.noc import NocSimulator, SyntheticTraffic, build_topology
 
 
 def test_bench_noc_traffic(benchmark, save_report):
@@ -131,3 +131,84 @@ def test_bench_engine_speedup(benchmark, save_report):
         assert record["speedup"] >= 5.0, (
             f"fast engine speedup regressed: {record['speedup']:.2f}x < 5x"
         )
+
+
+# --- topology family throughput --------------------------------------------------------
+#
+# One timed row per topology class at a matched 16-endpoint budget, on
+# each topology's best supported engine.  Rows append to the same
+# BENCH_noc_traffic.json trajectory as the engine-speedup record, so a
+# routing-table or adjacency regression that slows one family member
+# shows up across commits.
+
+TOPOLOGY_BENCH = [
+    ("mesh", ("mesh", 4, {}), "fast"),
+    ("cmesh", ("cmesh", 2, {"concentration": 4}), "fast"),
+    ("torus", ("torus", 4, {}), "fast"),
+    ("chiplet", ("chiplet", 2, {"chiplets_x": 2, "chiplets_y": 2}),
+     "reference"),
+]
+
+
+def _measure_topologies(rate, seed, warm, cycles):
+    rows = {}
+    for name, (kind, k, kwargs), engine in TOPOLOGY_BENCH:
+        topology = build_topology(kind, k, **kwargs)
+        traffic = SyntheticTraffic(topology, rate, "uniform", seed=seed)
+        sim = NocSimulator(topology, traffic=traffic, seed=seed, engine=engine)
+        sim.stats.measure_start, sim.stats.measure_end = 0, 10**9
+        for _ in range(warm):
+            sim.step()
+        t0 = time.perf_counter()
+        for _ in range(cycles):
+            sim.step()
+        elapsed = time.perf_counter() - t0
+        rows[name] = {
+            "engine": engine,
+            "n_nodes": len(topology.nodes()),
+            "cycles_per_sec": cycles / elapsed,
+            "us_per_cycle": 1e6 * elapsed / cycles,
+            "delivered": sim.stats.delivered_count,
+        }
+    return rows
+
+
+def test_bench_topology_family(benchmark, save_report):
+    rows = benchmark.pedantic(
+        _measure_topologies,
+        kwargs={
+            "rate": 0.05,
+            "seed": 7,
+            "warm": 100 if FULL else 50,
+            "cycles": 1000 if FULL else 300,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record = {
+        "kind": "topology-family",
+        "rows": rows,
+        "full": FULL,
+        "unix_time": round(time.time(), 1),
+    }
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    trajectory_path = OUTPUT_DIR / "BENCH_noc_traffic.json"
+    trajectory = (
+        json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    )
+    trajectory.append(record)
+    trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    lines = ["TOPOLOGY FAMILY — uniform-random @ 0.05, matched endpoints"]
+    for name, row in rows.items():
+        lines.append(
+            f"  {name:<8} [{row['engine']:<9}] {row['us_per_cycle']:8.1f} "
+            f"us/cycle   {row['cycles_per_sec']:10.0f} cycles/s   "
+            f"{row['delivered']:5d} delivered"
+        )
+    save_report("BENCH_topology_family", "\n".join(lines))
+
+    for name, row in rows.items():
+        assert row["delivered"] > 0, f"{name}: nothing delivered"
+        assert row["cycles_per_sec"] > 0

@@ -19,6 +19,10 @@ Typical invocations::
     python scripts/run_fault_campaign.py --checkpoint run.jsonl
     python scripts/run_fault_campaign.py --checkpoint run.jsonl --resume
     python scripts/run_fault_campaign.py --task-timeout 300 --retries 2
+    python scripts/run_fault_campaign.py --topology torus --k 4
+    python scripts/run_fault_campaign.py --topology cmesh --concentration 4
+    python scripts/run_fault_campaign.py --topology chiplet --k 2 \
+        --chiplets-x 2 --chiplets-y 2
 
 ``--checkpoint`` persists each completed point to a crash-safe JSONL
 store; after a kill (Ctrl-C, OOM, SIGKILL) re-run with ``--resume`` to
@@ -38,12 +42,14 @@ import argparse
 import sys
 import time
 
+from repro.errors import ConfigurationError
 from repro.fault import (
     PROTOCOLS,
     FaultCampaignConfig,
     format_fault_report,
     run_fault_campaign,
 )
+from repro.noc.topology import TOPOLOGY_KINDS
 from repro.runtime import ResilienceConfig
 
 
@@ -54,7 +60,21 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
         "per protection scheme.",
     )
     parser.add_argument("--k", type=int, default=4,
-                        help="mesh radix (default: 4)")
+                        help="router-grid radix; per-chiplet local mesh "
+                        "radix for --topology chiplet (default: 4)")
+    parser.add_argument("--topology", choices=sorted(TOPOLOGY_KINDS),
+                        default="mesh",
+                        help="topology family (default: mesh)")
+    parser.add_argument("--concentration", type=int, default=1, metavar="C",
+                        help="cores per router for --topology cmesh "
+                        "(default: 1, i.e. unset)")
+    parser.add_argument("--chiplets-x", type=int, default=1, metavar="N",
+                        help="chiplet grid width for --topology chiplet")
+    parser.add_argument("--chiplets-y", type=int, default=1, metavar="N",
+                        help="chiplet grid height for --topology chiplet")
+    parser.add_argument("--noi-scale", type=float, default=2.0, metavar="X",
+                        help="NoI link length multiplier for --topology "
+                        "chiplet (default: 2.0)")
     parser.add_argument("--rate", type=float, default=0.05, metavar="R",
                         help="injection rate, packets/node/cycle (default: 0.05)")
     parser.add_argument("--pattern", default="uniform",
@@ -111,7 +131,16 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
 
 
 def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
+    topology = dict(
+        topology=args.topology,
+        concentration=args.concentration,
+        chiplets_x=args.chiplets_x,
+        chiplets_y=args.chiplets_y,
+        noi_scale=args.noi_scale,
+    )
     if args.smoke:
+        # --smoke shrinks windows and the BER grid but keeps the
+        # requested topology, so CI can smoke any family member.
         return FaultCampaignConfig(
             k=3,
             injection_rate=0.06,
@@ -127,6 +156,7 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
             engine=args.engine,
             multicast_fraction=args.multicast_fraction,
             multicast_degree=args.multicast_degree,
+            **topology,
         )
     return FaultCampaignConfig(
         k=args.k,
@@ -143,6 +173,7 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
         engine=args.engine,
         multicast_fraction=args.multicast_fraction,
         multicast_degree=args.multicast_degree,
+        **topology,
     )
 
 
@@ -157,7 +188,13 @@ def build_resilience(args: argparse.Namespace) -> "ResilienceConfig | None":
 
 def main(argv: list[str] | None = None) -> int:
     args = parse_args(sys.argv[1:] if argv is None else argv)
-    config = build_config(args)
+    try:
+        config = build_config(args)
+    except ConfigurationError as exc:
+        # Topology/builder mistakes (e.g. --topology cmesh without
+        # --concentration) name the offending parameter; no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     t0 = time.time()
     result = run_fault_campaign(
         config,

@@ -38,6 +38,7 @@ from repro.dse.engine import (
 from repro.dse.objectives import (
     Fig8Evaluator,
     InfeasibleDesign,
+    NocTopologyEvaluator,
     Objective,
     EVALUATORS,
     SizingEvaluator,
@@ -74,8 +75,10 @@ from repro.dse.studies import (
     Fig8Outcome,
     fig8_space,
     fig8_study,
+    noc_topology_space,
     sizing_space,
     sizing_study,
+    topology_study,
 )
 
 __all__ = [
@@ -87,6 +90,7 @@ __all__ = [
     "GridStrategy",
     "InfeasibleDesign",
     "LhsStrategy",
+    "NocTopologyEvaluator",
     "Nsga2Strategy",
     "Objective",
     "ParamSpace",
@@ -114,6 +118,7 @@ __all__ = [
     "infeasible_vector",
     "log",
     "make_strategy",
+    "noc_topology_space",
     "non_dominated_sort",
     "pareto_front_indices",
     "run_dse",
@@ -121,4 +126,5 @@ __all__ = [
     "sizing_space",
     "sizing_study",
     "space_from_spec",
+    "topology_study",
 ]

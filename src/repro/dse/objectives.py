@@ -18,6 +18,9 @@ Provided adapters:
   driver scale), optionally adding die failure probability (min).
 * :class:`Zdt1Evaluator` — an analytic benchmark with a known Pareto
   front (``f2 = 1 - sqrt(f1)``), for tests and strategy benchmarking.
+* :class:`NocTopologyEvaluator` — measured latency vs per-endpoint
+  goodput across the topology family (mesh, cmesh, torus, chiplet)
+  at a matched endpoint budget, with injection rate as the load axis.
 """
 
 from __future__ import annotations
@@ -32,8 +35,13 @@ from repro.circuit.link import SRLRLink
 from repro.circuit.prbs import PrbsGenerator, worst_case_patterns
 from repro.circuit.srlr import robust_design
 from repro.energy.link_energy import srlr_link_energy
-from repro.errors import ConfigurationError
+from repro.energy.router import RouterPowerModel
+from repro.errors import ConfigurationError, LivelockError
 from repro.mc import run_monte_carlo
+from repro.noc.power import price_stats
+from repro.noc.simulator import NocSimulator
+from repro.noc.topology import Topology, build_topology
+from repro.noc.traffic import SyntheticTraffic
 from repro.tech.technology import tech_45nm_soi
 from repro.units import UM
 from repro.wire.rc import WireGeometry
@@ -226,6 +234,99 @@ class Zdt1Evaluator:
         return {"f1": f1, "f2": g * (1.0 - math.sqrt(f1 / g))}
 
 
+@dataclass(frozen=True)
+class NocTopologyEvaluator:
+    """Latency vs goodput across the NoC topology family (E24 recast).
+
+    Parameters searched: ``topology_index`` — a discrete index into
+    :meth:`menu`, which holds the four family members at a matched
+    endpoint budget (flat ``k x k`` mesh, concentrated mesh with four
+    cores per router, ``k x k`` torus, and a 2x2-chiplet NoC/NoI) — and
+    ``injection_rate`` in packets per endpoint per cycle.  Each
+    candidate runs a short uniform-random unicast simulation on the
+    exact cycle-level engines (the SoA fast engine wherever the
+    topology supports it), so the trade-off surface is measured, not
+    modeled.  A network driven past saturation that livelocks the drain
+    phase is recorded as an infeasible candidate rather than crashing
+    the search; ``wire_energy_j`` rides along as a non-objective metric
+    for per-topology energy comparisons.
+    """
+
+    k: int = 4
+    warmup: int = 100
+    measure: int = 400
+    pattern: str = "uniform"
+    size_flits: int = 1
+
+    objectives: ClassVar[tuple[Objective, ...]] = (
+        Objective("average_latency_cycles", "min", "cycles"),
+        Objective("throughput_per_endpoint", "max", "pkt/endpoint/cycle"),
+    )
+
+    def __post_init__(self) -> None:
+        if self.k < 4 or self.k % 2:
+            raise ConfigurationError(
+                "NocTopologyEvaluator needs an even k >= 4 so every family"
+                f" member exists at a matched endpoint budget, got {self.k}"
+            )
+        if self.warmup < 0 or self.measure < 1:
+            raise ConfigurationError(
+                f"need warmup >= 0 and measure >= 1, got "
+                f"({self.warmup}, {self.measure})"
+            )
+
+    def menu(self) -> tuple[Topology, ...]:
+        """The searchable topologies, index-aligned with ``topology_index``."""
+        return (
+            build_topology("mesh", self.k),
+            build_topology("cmesh", self.k // 2, concentration=4),
+            build_topology("torus", self.k),
+            build_topology(
+                "chiplet", self.k // 2, chiplets_x=2, chiplets_y=2
+            ),
+        )
+
+    def __call__(self, params: dict[str, float], seed: int) -> dict[str, float]:
+        index = int(round(params["topology_index"]))
+        menu = self.menu()
+        if not 0 <= index < len(menu):
+            raise ConfigurationError(
+                f"topology_index must lie in [0, {len(menu) - 1}], got {index}"
+            )
+        topology = menu[index]
+        traffic = SyntheticTraffic(
+            topology,
+            float(params["injection_rate"]),
+            self.pattern,
+            size_flits=self.size_flits,
+            seed=seed,
+        )
+        engine = "fast" if topology.supports_fast_engine else "reference"
+        sim = NocSimulator(topology, traffic=traffic, seed=seed, engine=engine)
+        try:
+            sim.run(warmup=self.warmup, measure=self.measure)
+        except LivelockError as exc:
+            raise InfeasibleDesign(
+                f"{topology.kind} saturated at rate "
+                f"{params['injection_rate']:.3f}: {exc}"
+            ) from exc
+        stats = sim.stats
+        if not stats.clean_measured():
+            raise InfeasibleDesign(
+                f"{topology.kind}: no deliveries in the measurement window"
+            )
+        report = price_stats(stats, RouterPowerModel())
+        return {
+            "average_latency_cycles": stats.average_latency,
+            "throughput_per_endpoint": stats.throughput(
+                len(topology.endpoints())
+            ),
+            "wire_energy_j": report.total,
+            "link_traversals": float(stats.link_traversals),
+            "topology_index": float(index),
+        }
+
+
 #: Named evaluator classes submittable by JSON configs (the campaign
 #: service and other front ends that cannot ship arbitrary callables
 #: reference evaluators by name + keyword arguments).
@@ -233,6 +334,7 @@ EVALUATORS = {
     "fig8": Fig8Evaluator,
     "sizing": SizingEvaluator,
     "zdt1": Zdt1Evaluator,
+    "noc_topology": NocTopologyEvaluator,
 }
 
 
@@ -249,6 +351,7 @@ __all__ = [
     "EVALUATORS",
     "Fig8Evaluator",
     "InfeasibleDesign",
+    "NocTopologyEvaluator",
     "Objective",
     "SizingEvaluator",
     "Zdt1Evaluator",

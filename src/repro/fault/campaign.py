@@ -36,8 +36,8 @@ from repro.fault.injector import FaultLayer
 from repro.fault.models import UniformBer
 from repro.fault.protection import PROTOCOLS, ProtectionConfig
 from repro.mc.ber import ber_upper_bound_many
-from repro.noc.simulator import ENGINES, NocSimulator
-from repro.noc.topology import MeshTopology
+from repro.noc.simulator import ENGINES, EngineFallbackWarning, NocSimulator
+from repro.noc.topology import TOPOLOGY_KINDS, Topology, build_topology
 from repro.noc.traffic import PATTERNS, SyntheticTraffic
 from repro.runtime import (
     CheckpointStore,
@@ -50,17 +50,21 @@ from repro.runtime.executor import ParallelExecutor
 from repro.runtime.seeds import derived_seed
 
 
-class EngineFallbackWarning(RuntimeWarning):
-    """A campaign point could not run on the requested engine and fell
-    back to the reference simulator (results are still exact — the
-    reference loop is the golden oracle — but slower)."""
-
-
 @dataclass(frozen=True)
 class FaultCampaignConfig:
     """Grid and simulation parameters of one fault campaign."""
 
+    #: Topology class ("mesh", "cmesh", "torus", "chiplet"); ``k`` is
+    #: the router-grid radix (the per-chiplet radix for "chiplet").
+    topology: str = "mesh"
     k: int = 4
+    #: Cores per router for topology="cmesh" (1 elsewhere).
+    concentration: int = 1
+    #: Chiplet grid for topology="chiplet" (1x1 elsewhere).
+    chiplets_x: int = 1
+    chiplets_y: int = 1
+    #: NoI link length relative to 1 mm NoC links (chiplet only).
+    noi_scale: float = 2.0
     injection_rate: float = 0.05
     pattern: str = "uniform"
     size_flits: int = 2
@@ -86,6 +90,19 @@ class FaultCampaignConfig:
     def __post_init__(self) -> None:
         if self.k < 2:
             raise ConfigurationError(f"k must be >= 2, got {self.k}")
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ConfigurationError(
+                f"topology must be one of {TOPOLOGY_KINDS}, "
+                f"got {self.topology!r}"
+            )
+        # Build once to fail fast with the builder's named-parameter
+        # errors (bad concentration, chiplet grid, noi_scale).
+        topo = self.build_topology()
+        if self.multicast_fraction > 0.0 and not topo.grid_endpoints:
+            raise ConfigurationError(
+                "multicast_fraction > 0 requires a grid-endpoint topology "
+                f"(mesh, torus); got topology={self.topology!r}"
+            )
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
@@ -114,18 +131,42 @@ class FaultCampaignConfig:
                 f"protocols must be a non-empty subset of {PROTOCOLS}"
             )
 
+    def build_topology(self) -> Topology:
+        """The topology instance this campaign simulates over."""
+        return build_topology(
+            self.topology,
+            self.k,
+            concentration=self.concentration,
+            chiplets_x=self.chiplets_x,
+            chiplets_y=self.chiplets_y,
+            noi_scale=self.noi_scale,
+        )
+
+    def describe(self) -> str:
+        """Short human topology label for reports."""
+        if self.topology == "cmesh":
+            return f"{self.k}x{self.k} cmesh (c={self.concentration})"
+        if self.topology == "chiplet":
+            return (
+                f"{self.chiplets_x}x{self.chiplets_y} chiplets of "
+                f"{self.k}x{self.k} (NoI x{self.noi_scale:g})"
+            )
+        return f"{self.k}x{self.k} {self.topology}"
+
     def content_hash(self) -> str:
         """The content-hash identity of this campaign configuration."""
-        return content_key("fault-campaign/v1", self)
+        # v2: topology-class parameters joined the config identity.
+        return content_key("fault-campaign/v2", self)
 
     def effective_engine(self, warn: bool = True) -> str:
         """The engine a point will actually run on.
 
-        The fast engine is unicast-only; a multicast mix falls back to
-        the reference oracle.  The fallback is *loud* — an
-        :class:`EngineFallbackWarning` naming the campaign's config hash
-        — so a surprisingly slow campaign is attributable, never a bare
-        silent reference-engine run.
+        The fast engine is unicast-only and does not cover every
+        topology class; a multicast mix or an unsupported topology
+        falls back to the reference oracle.  The fallback is *loud* —
+        an :class:`EngineFallbackWarning` naming the cause and the
+        campaign's config hash — so a surprisingly slow campaign is
+        attributable, never a bare silent reference-engine run.
         """
         if self.engine == "fast" and self.multicast_fraction > 0.0:
             if warn:
@@ -133,6 +174,19 @@ class FaultCampaignConfig:
                     f"campaign {self.content_hash()[:16]}: engine='fast' "
                     f"does not support multicast traffic "
                     f"(multicast_fraction={self.multicast_fraction}); "
+                    f"falling back to the reference engine",
+                    EngineFallbackWarning,
+                    stacklevel=3,
+                )
+            return "reference"
+        if (
+            self.engine == "fast"
+            and not self.build_topology().supports_fast_engine
+        ):
+            if warn:
+                warnings.warn(
+                    f"campaign {self.content_hash()[:16]}: engine='fast' "
+                    f"does not support the {self.topology} topology; "
                     f"falling back to the reference engine",
                     EngineFallbackWarning,
                     stacklevel=3,
@@ -188,11 +242,20 @@ def _evaluate_point(
 ) -> FaultPointResult:
     """Run one campaign point (module-level: picklable for workers)."""
     config, ber, protocol = task
+    topology = config.build_topology()
     # The traffic stream is shared across protocols at a BER point (same
     # derived seed), so scheme comparisons see identical offered load.
-    sim_seed = derived_seed(config.seed, f"fault/campaign/traffic/{config.k}")
+    # The mesh token predates the topology zoo and stays unchanged so
+    # mesh campaigns remain bitwise identical to their golden runs.
+    if config.topology == "mesh":
+        traffic_token = f"fault/campaign/traffic/{config.k}"
+    else:
+        traffic_token = (
+            f"fault/campaign/traffic/{config.topology}/{config.k}"
+        )
+    sim_seed = derived_seed(config.seed, traffic_token)
     traffic = SyntheticTraffic(
-        MeshTopology(config.k),
+        topology,
         config.injection_rate,
         config.pattern,
         size_flits=config.size_flits,
@@ -203,7 +266,7 @@ def _evaluate_point(
     # warn=False: the campaign driver already warned once in the parent;
     # worker processes would emit invisible duplicates.
     sim = NocSimulator(
-        config.k,
+        topology,
         traffic=traffic,
         seed=sim_seed,
         engine=config.effective_engine(warn=False),
@@ -229,7 +292,9 @@ def _evaluate_point(
 
     stats, fstats = sim.stats, layer.stats
     window = config.measure
-    n_nodes = config.k * config.k
+    # Goodput normalizes per *endpoint* (= per router on the flat mesh
+    # and torus, per core elsewhere).
+    n_nodes = len(topology.endpoints())
 
     if protocol == "e2e":
         # Completed transfers whose first injection fell in the window.
@@ -256,6 +321,7 @@ def _evaluate_point(
         datapath=config.datapath,
         n_cycles=sim.cycle,
         useful_deliveries=useful,
+        links=sim.links,
     )
     counts = fstats.per_link_error_counts()
     tokens = sorted(counts)
@@ -364,7 +430,7 @@ def run_fault_campaign(
     tasks = config.tasks()
     store = open_checkpoint(
         checkpoint,
-        {"kind": "fault-campaign/v1", "config": asdict(config)},
+        {"kind": "fault-campaign/v2", "config": asdict(config)},
         resume,
     )
     done: dict[str, FaultPointResult] = {}
@@ -446,7 +512,7 @@ def format_fault_report(result: FaultCampaignResult) -> str:
     """Human-readable campaign table (the CLI's output)."""
     config = result.config
     lines = [
-        f"fault campaign: {config.k}x{config.k} mesh, "
+        f"fault campaign: {config.describe()}, "
         f"{config.pattern} @ {config.injection_rate} flits/node/cycle, "
         f"{config.size_flits}-flit packets, seed {config.seed}",
         "",

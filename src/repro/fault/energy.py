@@ -30,7 +30,7 @@ from repro.fault.injector import FaultStats
 from repro.fault.protection import ProtectionConfig
 from repro.noc.power import NocEnergyReport, price_stats
 from repro.noc.stats import NocStats
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import Topology
 from repro.units import FJ, MM
 
 
@@ -72,10 +72,19 @@ class FaultEnergyReport:
     #: Intact payload delivered in the measurement window, bit * mm.
     useful_bit_mm: float
     clean_deliveries: int
+    #: Extra traversal energy of links longer than the 1 mm baseline
+    #: (chiplet NoI links); 0.0 on uniform-length topologies.
+    link_surcharge: float = 0.0
 
     @property
     def overhead(self) -> float:
-        return self.crc + self.retransmission + self.ack + self.retry_buffer
+        return (
+            self.crc
+            + self.retransmission
+            + self.ack
+            + self.retry_buffer
+            + self.link_surcharge
+        )
 
     @property
     def total(self) -> float:
@@ -100,7 +109,7 @@ class FaultEnergyReport:
 def price_fault_run(
     stats: NocStats,
     fault: FaultStats,
-    topology: MeshTopology,
+    topology: Topology,
     protection: ProtectionConfig,
     size_flits: int = 1,
     model: RouterPowerModel | None = None,
@@ -108,6 +117,7 @@ def price_fault_run(
     datapath: str = "srlr",
     n_cycles: int | None = None,
     useful_deliveries: list[tuple] | None = None,
+    links=None,
 ) -> FaultEnergyReport:
     """Price a fault run: base event energy + protection overheads.
 
@@ -117,7 +127,10 @@ def price_fault_run(
     overrides the set of intact deliveries with explicit (src, dest)
     pairs — end-to-end campaigns use this because a retried packet's
     delivery record carries the retry's inject cycle and would fall
-    outside the measurement window.
+    outside the measurement window.  ``links`` (the simulator's link
+    list) enables per-link length accounting: traversals of links with
+    ``mm_scale != 1`` (chiplet NoI wires) pay a datapath surcharge
+    proportional to the extra length.
     """
     model = model or RouterPowerModel()
     costs = costs or ProtectionCosts()
@@ -134,6 +147,17 @@ def price_fault_run(
     if protection.protocol == "e2e":
         retry_buffer = model.buffer_energy_per_flit() * stats.injected_flits
 
+    link_surcharge = 0.0
+    if links is not None:
+        # Datapath energy scales with wire length: each traversal of a
+        # longer-than-baseline link pays the extra length's share.
+        extra = sum(
+            (link.mm_scale - 1.0) * link.traversals
+            for link in links
+            if link.mm_scale != 1.0
+        )
+        link_surcharge = extra * e_dp
+
     if useful_deliveries is None:
         useful_deliveries = [
             (record.src, record.dest) for record in stats.clean_measured()
@@ -141,7 +165,9 @@ def price_fault_run(
     link_mm = model.config.link_length / MM
     useful_bit_mm = 0.0
     for src, dest in useful_deliveries:
-        hops = topology.hop_distance(src, dest) if src is not None else 1
+        # route_mm = hops on uniform-length topologies (bitwise the old
+        # hop_distance accounting); per-link scaled on chiplet NoC/NoI.
+        hops = topology.route_mm(src, dest) if src is not None else 1
         useful_bit_mm += size_flits * flit_bits * hops * link_mm
     return FaultEnergyReport(
         base=base,
@@ -151,6 +177,7 @@ def price_fault_run(
         retry_buffer=retry_buffer,
         useful_bit_mm=useful_bit_mm,
         clean_deliveries=len(useful_deliveries),
+        link_surcharge=link_surcharge,
     )
 
 

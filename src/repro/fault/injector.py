@@ -334,7 +334,9 @@ class FaultLayer:
 
     @staticmethod
     def _link_direction(topology, link: Link) -> Port:
-        for port in _DIRECTIONS:
+        # Per-node ports, not the fixed compass set: chiplet gateways
+        # and interface routers carry a sixth (vertical) port.
+        for port in topology.node_ports(link.src):
             if topology.neighbor(link.src, port) == link.dst.node:
                 return port
         raise ConfigurationError(f"link {link.token} joins non-neighbors")

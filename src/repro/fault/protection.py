@@ -157,7 +157,7 @@ class EndToEndTracker:
             self.base_timeout = config.timeout_cycles
         else:
             # Worst-case request path + ack path + queueing slack.
-            diameter = 2 * (topology.k - 1)
+            diameter = topology.diameter
             self.base_timeout = 4 * diameter * self._hop_cycles + 32
         self._transfers: dict[int, _Transfer] = {}
         self._transfer_of_packet: dict[int, int] = {}

@@ -1,18 +1,23 @@
 """Fault-aware routing: shortest paths around disabled links.
 
 :class:`AdaptiveRoutingTable` maintains per-destination next-hop tables
-over the *alive* subset of a mesh's links, recomputed whenever the
-link-disable monitor kills a link.  Tie-breaks prefer the port XY
-dimension-order routing would take, so with no links disabled the table
-reproduces :func:`repro.noc.routing.xy_route` exactly — the parity
-anchor that keeps fault-free behavior bitwise unchanged.
+over the *alive* subset of a topology's links, recomputed whenever the
+link-disable monitor kills a link.  On grid topologies (mesh,
+concentrated mesh) tie-breaks prefer the port XY dimension-order
+routing would take, so with no links disabled the table reproduces
+:func:`repro.noc.routing.xy_route` exactly — the parity anchor that
+keeps fault-free behavior bitwise unchanged.  Table-routed topologies
+(torus, chiplet) instead delegate to
+``Topology.build_routing_table(alive=...)``, which re-runs the
+up*/down* construction over the surviving links — detours there keep
+the same turn restrictions and stay deadlock-free.
 
-Deadlock caveat: on an intact mesh the table *is* XY and inherits its
-deadlock freedom.  With links disabled the detour paths can in
-principle create channel-dependence cycles; the simulator's livelock
-detection (bounded drain with a stall diagnostic) converts that from a
-silent hang into a loud failure.  ``docs/FAULTS.md`` discusses the
-limitation.
+Deadlock caveat (grids only): on an intact mesh the table *is* XY and
+inherits its deadlock freedom.  With links disabled the detour paths
+can in principle create channel-dependence cycles; the simulator's
+livelock detection (bounded drain with a stall diagnostic) converts
+that from a silent hang into a loud failure.  ``docs/FAULTS.md``
+discusses the limitation.
 """
 
 from __future__ import annotations
@@ -21,15 +26,15 @@ from collections import deque
 
 from repro.noc.packet import Flit
 from repro.noc.routing import route_ports, xy_route
-from repro.noc.topology import MeshTopology, NodeId, Port
+from repro.noc.topology import NodeId, Port, Topology
 
 _DIRECTIONS = (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST)
 
 
 class AdaptiveRoutingTable:
-    """Next-hop routing over the alive links of a mesh."""
+    """Next-hop routing over the alive links of a topology."""
 
-    def __init__(self, topology: MeshTopology) -> None:
+    def __init__(self, topology: Topology) -> None:
         self.topology = topology
         self._alive: set[tuple[NodeId, Port]] = {
             (src, port) for src, port, _dst in topology.links()
@@ -62,7 +67,7 @@ class AdaptiveRoutingTable:
         return src == dest or self.next_hop(src, dest) is not None
 
     def partition(
-        self, topology: MeshTopology, node: NodeId, flit: Flit
+        self, topology: Topology, node: NodeId, flit: Flit
     ) -> dict[Port, frozenset[NodeId]]:
         """Drop-in :func:`repro.noc.routing.route_ports` replacement.
 
@@ -82,6 +87,14 @@ class AdaptiveRoutingTable:
     # --- table construction -----------------------------------------------------------
 
     def _recompute(self) -> None:
+        if self.topology.table_routed:
+            # Up*/down* topologies rebuild their own table over the
+            # alive links: detours keep the turn restrictions, so the
+            # recomputed routes stay deadlock-free by construction.
+            self._next_hop = self.topology.build_routing_table(
+                alive=self._alive
+            )
+            return
         nodes = self.topology.nodes()
         # Forward adjacency: node -> [(port, neighbor)] over alive links.
         adjacency: dict[NodeId, list[tuple[Port, NodeId]]] = {n: [] for n in nodes}

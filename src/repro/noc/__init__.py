@@ -15,24 +15,49 @@ from repro.noc.power import TAP_ENERGY_FRACTION, NocEnergyReport, price_stats
 from repro.noc.router import NocConfig, Router
 from repro.noc.routing import (
     multicast_tree_links,
+    next_port,
     route_ports,
+    routing_cdg_edges,
+    routing_is_deadlock_free,
     tap_destinations,
+    unicast_path,
     unicast_path_hops,
     xy_route,
     yx_route,
 )
 from repro.noc.fastsim import FastNocSimulator
-from repro.noc.simulator import ENGINES, Nic, NocSimulator
+from repro.noc.simulator import EngineFallbackWarning, ENGINES, Nic, NocSimulator
 from repro.noc.stats import DeliveryRecord, NocStats
-from repro.noc.topology import OPPOSITE, MeshTopology, NodeId, Port
+from repro.noc.topology import (
+    OPPOSITE,
+    PORT_UP,
+    TOPOLOGY_KINDS,
+    ChipletNoc,
+    ConcentratedMesh,
+    MeshTopology,
+    NodeId,
+    Port,
+    Topology,
+    TorusTopology,
+    build_topology,
+    updown_routing_table,
+)
 from repro.noc.trace import TraceEntry, TraceTraffic, record_trace
-from repro.noc.traffic import PATTERNS, SyntheticTraffic, pattern_destination
+from repro.noc.traffic import (
+    PATTERNS,
+    SyntheticTraffic,
+    endpoint_destination,
+    pattern_destination,
+)
 from repro.noc.vc import InputPort, OutputPort, VirtualChannel
 
 __all__ = [
+    "ChipletNoc",
+    "ConcentratedMesh",
     "Crossbar",
     "DeliveryRecord",
     "ENGINES",
+    "EngineFallbackWarning",
     "FastNocSimulator",
     "Flit",
     "FlitType",
@@ -49,11 +74,15 @@ __all__ = [
     "OPPOSITE",
     "OutputPort",
     "PATTERNS",
+    "PORT_UP",
     "Packet",
     "Port",
     "Router",
     "SyntheticTraffic",
+    "TOPOLOGY_KINDS",
+    "Topology",
     "TopologyPoint",
+    "TorusTopology",
     "TraceEntry",
     "clos_point",
     "crossover_locality",
@@ -64,12 +93,19 @@ __all__ = [
     "record_trace",
     "TAP_ENERGY_FRACTION",
     "VirtualChannel",
+    "build_topology",
+    "endpoint_destination",
     "multicast_tree_links",
+    "next_port",
     "pattern_destination",
     "price_stats",
     "route_ports",
+    "routing_cdg_edges",
+    "routing_is_deadlock_free",
     "tap_destinations",
+    "unicast_path",
     "unicast_path_hops",
+    "updown_routing_table",
     "xy_route",
     "yx_route",
 ]

@@ -72,7 +72,7 @@ from repro.noc.packet import Flit, single_flit
 from repro.noc.routing import xy_route, yx_route
 from repro.noc.stats import DeliveryRecord
 from repro.noc.simulator import NocSimulator
-from repro.noc.topology import OPPOSITE, Port
+from repro.noc.topology import Port
 
 _P = 5  # ports per router (LOCAL + 4 compass directions)
 _LOCAL = int(Port.LOCAL)
@@ -106,7 +106,7 @@ class FastNocSimulator(NocSimulator):
 
     def __init__(
         self,
-        k: int,
+        k,
         config=None,
         traffic=None,
         injection_rate: float = 0.05,
@@ -128,6 +128,21 @@ class FastNocSimulator(NocSimulator):
             pattern=pattern,
             seed=seed,
         )
+        if not self.topology.supports_fast_engine:
+            raise ConfigurationError(
+                f"engine='fast' does not support the {self.topology.kind} "
+                "topology; use the reference engine (NocSimulator falls "
+                "back automatically with an EngineFallbackWarning)"
+            )
+        ports_seen = {
+            tuple(int(p) for p in self.topology.node_ports(node))
+            for node in self.topology.nodes()
+        }
+        if ports_seen != {(0, 1, 2, 3, 4)}:
+            raise ConfigurationError(
+                f"engine='fast' requires a uniform 5-port radix; the "
+                f"{self.topology.kind} topology has port sets {ports_seen}"
+            )
         if getattr(self.traffic, "multicast_fraction", 0.0):
             raise ConfigurationError(
                 "engine='fast' supports unicast traffic only; use the "
@@ -200,23 +215,38 @@ class FastNocSimulator(NocSimulator):
         self._out_target = [[-1] * _P for _ in range(R)]
         self._link_of = [[-1] * _P for _ in range(R)]
         self._link_dst_base = [0] * len(self.links)
-        for li, link in enumerate(self.links):
-            out_port = int(OPPOSITE[link.dst.port])
+        # self.links was built from directed_links() in the same order,
+        # so zipping recovers each link's output port without assuming a
+        # mesh-style OPPOSITE relation (a torus wrap link enters on the
+        # same compass side it left from).
+        directed = self.topology.directed_links()
+        for li, (link, (_src, out_port, _dst, _in_port)) in enumerate(
+            zip(self.links, directed)
+        ):
             r = self._node_index[link.src]
             dst_r = self._node_index[link.dst.node]
             dst_base = (dst_r * _P + int(link.dst.port)) * V
-            self._out_target[r][out_port] = dst_base
-            self._link_of[r][out_port] = li
+            self._out_target[r][int(out_port)] = dst_base
+            self._link_of[r][int(out_port)] = li
             self._link_dst_base[li] = dst_base
         self._link_inflight = [0] * len(self.links)
 
-        # Dimension-order route tables: port from router r toward dest d.
-        self._route_xy = [
-            [int(xy_route(a, b)) for b in self._nodes] for a in self._nodes
-        ]
-        self._route_yx = [
-            [int(yx_route(a, b)) for b in self._nodes] for a in self._nodes
-        ]
+        if self.topology.table_routed:
+            # One deadlock-free table serves both "orders" (table
+            # topologies reject o1turn at construction).
+            table = self.topology.route_table_ints(self._nodes)
+            self._route_xy = table
+            self._route_yx = table
+        else:
+            # Dimension-order route tables: port from r toward dest d.
+            self._route_xy = [
+                [int(xy_route(a, b)) for b in self._nodes]
+                for a in self._nodes
+            ]
+            self._route_yx = [
+                [int(yx_route(a, b)) for b in self._nodes]
+                for a in self._nodes
+            ]
 
         # VC classes: (lo, hi) of the VC range a packet may use.
         if config.routing == "o1turn":

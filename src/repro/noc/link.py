@@ -41,6 +41,10 @@ class Link:
     src: NodeId
     dst: LinkEnd
     latency: int = 1
+    #: Physical length of this hop in units of the baseline link (1.0 =
+    #: the paper's 1 mm NoC wire; NoI links in a chiplet topology are
+    #: longer).  Energy accounting multiplies per-traversal cost by this.
+    mm_scale: float = 1.0
     traversals: int = field(default=0)
     _in_flight: list[tuple[int, Flit, int]] = field(default_factory=list)
     #: Optional fault channel (attached by the fault layer); None = ideal.

@@ -32,7 +32,7 @@ from repro.noc.link import Link
 from repro.noc.packet import Flit
 from repro.noc.routing import route_ports
 from repro.noc.stats import NocStats
-from repro.noc.topology import OPPOSITE, MeshTopology, NodeId, Port
+from repro.noc.topology import NodeId, Port, Topology
 from repro.noc.vc import InputPort, OutputPort
 
 
@@ -107,7 +107,7 @@ class Router:
     def __init__(
         self,
         node: NodeId,
-        topology: MeshTopology,
+        topology: Topology,
         config: NocConfig,
         stats: NocStats,
     ) -> None:
@@ -115,8 +115,15 @@ class Router:
         self.topology = topology
         self.config = config
         self.stats = stats
+        #: This router's ports, in arbiter iteration order.  The flat
+        #: mesh keeps the full 5-member Port enum at every node (edge
+        #: routers simply leave compass ports unconnected, as before);
+        #: heterogeneous topologies (chiplet gateways, interface
+        #: routers) supply their own per-node port tuples.
+        self.ports: tuple = tuple(topology.node_ports(node))
         self.inputs: dict[Port, InputPort] = {
-            port: InputPort(config.n_vcs, config.vc_capacity) for port in Port
+            port: InputPort(config.n_vcs, config.vc_capacity)
+            for port in self.ports
         }
         #: Output-side bookkeeping per connected output port (not LOCAL:
         #: ejection has no downstream buffer to flow-control).
@@ -135,9 +142,9 @@ class Router:
         self.route_fn = None
         self._staged: list[tuple[Flit, Port, int]] = []
         self._branch_state: dict[tuple[Port, int], _BranchState] = {}
-        self._sa_in_ptr: dict[Port, int] = {port: 0 for port in Port}
-        self._sa_out_ptr: dict[Port, int] = {port: 0 for port in Port}
-        self._va_ptr: dict[Port, int] = {port: 0 for port in Port}
+        self._sa_in_ptr: dict[Port, int] = {port: 0 for port in self.ports}
+        self._sa_out_ptr: dict[Port, int] = {port: 0 for port in self.ports}
+        self._va_ptr: dict[Port, int] = {port: 0 for port in self.ports}
 
     # --- VC classes -------------------------------------------------------------------
 
@@ -204,7 +211,7 @@ class Router:
         if self.node not in flit.dests or in_port == Port.LOCAL:
             return flit
         partition = self._route(flit)
-        straight = OPPOSITE.get(in_port)
+        straight = self.topology.straight_port(self.node, in_port)
         if straight is None or straight not in partition:
             return flit
         self.stats.record_delivery(
@@ -255,7 +262,7 @@ class Router:
         """Grant idle downstream VCs to head flits awaiting them."""
         # Collect requests per output port.
         requests: dict[Port, list[tuple[Port, int, _BranchState]]] = {}
-        for in_port in Port:
+        for in_port in self.ports:
             for vc_idx in range(self.config.n_vcs):
                 vc = self.inputs[in_port].vcs[vc_idx]
                 state = self._front_state(in_port, vc_idx, cycle)
@@ -339,7 +346,7 @@ class Router:
         """Input-first separable switch allocation, then traversal."""
         # Stage 1: each input port nominates one VC.
         nominations: dict[Port, tuple[int, Port, int | None, frozenset[NodeId]]] = {}
-        for in_port in Port:
+        for in_port in self.ports:
             eligible = []
             for vc_idx in range(self.config.n_vcs):
                 cand = self._candidate(in_port, vc_idx, cycle)

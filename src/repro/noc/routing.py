@@ -1,11 +1,17 @@
-"""Routing: dimension-order (XY) unicast and XY-tree multicast.
+"""Routing: dimension order on grids, table dispatch elsewhere.
 
 XY routing is the standard deadlock-free choice for meshes: traverse X
-fully, then Y.  The multicast tree is the natural XY generalization —
-destinations are partitioned by the output port XY would choose, and a
-fork replicates the flit per needed port.  Because every branch still
-follows XY order, the tree is cycle-free and inherits XY's deadlock
-freedom.
+fully, then Y.  Table-routed topologies (torus, chiplet NoC/NoI) use
+their precomputed up*/down* next-hop tables instead — every function
+here dispatches through :func:`next_port` so both families share one
+code path.  The multicast tree is the natural generalization —
+destinations are partitioned by the output port the routing function
+would choose, and a fork replicates the flit per needed port.  Because
+every branch still follows one acyclic routing relation (XY order, or
+one fixed up*/down* table), the tree is cycle-free and inherits the
+underlying deadlock freedom; :func:`routing_cdg_edges` builds the
+channel dependency graph so tests can verify acyclicity per topology
+class.
 
 The module also computes *tap* opportunities: the SRLR datapath exposes
 full-swing data at every intermediate repeater (Section II), so a
@@ -17,7 +23,7 @@ from __future__ import annotations
 
 from repro.errors import RoutingError
 from repro.noc.packet import Flit
-from repro.noc.topology import MeshTopology, NodeId, Port
+from repro.noc.topology import MeshTopology, NodeId, Port, Topology
 
 
 def xy_route(current: NodeId, dest: NodeId) -> Port:
@@ -50,17 +56,43 @@ def yx_route(current: NodeId, dest: NodeId) -> Port:
     return Port.WEST
 
 
+def next_port(
+    topology: Topology, current: NodeId, dest: NodeId, order: str = "xy"
+):
+    """The output port routing takes toward ``dest`` at ``current``.
+
+    Dimension order on grids (honoring ``order``), a table lookup on
+    table-routed topologies (which have a single routing class).
+    """
+    if topology.table_routed:
+        return topology.route_port(current, dest)
+    return yx_route(current, dest) if order == "yx" else xy_route(current, dest)
+
+
 def route_ports(
-    topology: MeshTopology, current: NodeId, flit: Flit
+    topology: Topology, current: NodeId, flit: Flit
 ) -> dict[Port, frozenset[NodeId]]:
     """Partition a flit's destinations by output port at ``current``.
 
-    Uses the packet's dimension order ("xy" or "yx").  Returns
+    Uses the packet's dimension order ("xy" or "yx") on grid
+    topologies and the topology's precomputed table elsewhere.  Returns
     {port: destination subset}; LOCAL appears when this router is itself
     a destination.  Unicast flits always map to a single entry.
     """
     if not topology.contains(current):
-        raise RoutingError(f"router {current} outside the mesh")
+        raise RoutingError(f"router {current} outside the {topology.kind}")
+    if topology.table_routed:
+        table_partition: dict = {}
+        for dest in flit.dests:
+            if not topology.contains(dest):
+                raise RoutingError(
+                    f"destination {dest} outside the {topology.kind}"
+                )
+            port = topology.route_port(current, dest)
+            table_partition.setdefault(port, set()).add(dest)
+        return {
+            port: frozenset(dests) for port, dests in table_partition.items()
+        }
     route = yx_route if flit.packet.routing == "yx" else xy_route
     partition: dict[Port, set[NodeId]] = {}
     for dest in flit.dests:
@@ -71,35 +103,110 @@ def route_ports(
 
 
 def multicast_tree_links(
-    topology: MeshTopology, src: NodeId, dests: frozenset[NodeId]
+    topology: Topology, src: NodeId, dests: frozenset[NodeId]
 ) -> set[tuple[NodeId, Port]]:
-    """All (router, out_port) hops of the XY multicast tree, counted once.
+    """All (router, out_port) hops of the multicast tree, counted once.
 
     This is the link-traversal cost of a tree multicast; the same set of
     destinations served as independent unicasts costs the *sum* of their
-    XY paths, which double-counts every shared prefix — the multicast
-    energy advantage quantified in the E11 bench.
+    paths, which double-counts every shared prefix — the multicast
+    energy advantage quantified in the E11 bench.  The tree follows XY
+    on grids and the up*/down* table on table-routed topologies; either
+    way all branches share one acyclic routing relation, so the tree is
+    cycle- and deadlock-free.
     """
     hops: set[tuple[NodeId, Port]] = set()
     for dest in dests:
         node = src
         while node != dest:
-            port = xy_route(node, dest)
+            port = next_port(topology, node, dest)
             hops.add((node, port))
             nxt = topology.neighbor(node, port)
             if nxt is None:
-                raise RoutingError(f"XY fell off the mesh at {node} toward {dest}")
+                raise RoutingError(
+                    f"routing fell off the {topology.kind} at {node} "
+                    f"toward {dest}"
+                )
             node = nxt
     return hops
 
 
-def unicast_path_hops(topology: MeshTopology, src: NodeId, dest: NodeId) -> int:
-    """Hop count of the XY unicast path (equals Manhattan distance)."""
+def unicast_path_hops(topology: Topology, src: NodeId, dest: NodeId) -> int:
+    """Hop count of the unicast path (Manhattan distance on the mesh)."""
+    if topology.table_routed:
+        return len(unicast_path(topology, src, dest)) if src != dest else 0
     return topology.hop_distance(src, dest)
 
 
+def unicast_path(
+    topology: Topology, src: NodeId, dest: NodeId, order: str = "xy"
+) -> list[tuple[NodeId, Port]]:
+    """The (node, out_port) hops of the routed unicast path, in order."""
+    path: list[tuple[NodeId, Port]] = []
+    node = src
+    while node != dest:
+        port = next_port(topology, node, dest, order)
+        path.append((node, port))
+        nxt = topology.neighbor(node, port)
+        if nxt is None:
+            raise RoutingError(
+                f"routing fell off the {topology.kind} at {node} toward {dest}"
+            )
+        node = nxt
+        if len(path) > 4 * len(topology.nodes()):
+            raise RoutingError(f"routing loop from {src} toward {dest}")
+    return path
+
+
+def routing_cdg_edges(
+    topology: Topology, order: str = "xy"
+) -> set[tuple[tuple[NodeId, Port], tuple[NodeId, Port]]]:
+    """The channel dependency graph of a topology's routing relation.
+
+    Channels are directed links (src, out_port); an edge (c1, c2) means
+    some routed path holds c1 while requesting c2 — the wormhole
+    dependency that deadlocks when the graph has a cycle.  Built by
+    walking the routed path of every ordered router pair.
+    """
+    edges: set[tuple[tuple[NodeId, Port], tuple[NodeId, Port]]] = set()
+    nodes = topology.nodes()
+    for src in nodes:
+        for dest in nodes:
+            if src == dest:
+                continue
+            try:
+                path = unicast_path(topology, src, dest, order)
+            except (RoutingError, KeyError):
+                continue  # unreachable pair (partitioned alive set)
+            for a, b in zip(path, path[1:]):
+                edges.add((a, b))
+    return edges
+
+
+def routing_is_deadlock_free(topology: Topology, order: str = "xy") -> bool:
+    """True iff the routing channel dependency graph is acyclic."""
+    edges = routing_cdg_edges(topology, order)
+    out: dict = {}
+    indeg: dict = {}
+    for a, b in edges:
+        out.setdefault(a, []).append(b)
+        indeg[b] = indeg.get(b, 0) + 1
+        indeg.setdefault(a, indeg.get(a, 0))
+    # Kahn's algorithm: the graph is acyclic iff every vertex drains.
+    ready = [v for v, d in indeg.items() if d == 0]
+    seen = 0
+    while ready:
+        v = ready.pop()
+        seen += 1
+        for w in out.get(v, ()):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    return seen == len(indeg)
+
+
 def tap_destinations(
-    topology: MeshTopology, src: NodeId, dests: frozenset[NodeId]
+    topology: Topology, src: NodeId, dests: frozenset[NodeId]
 ) -> frozenset[NodeId]:
     """Destinations servable as free SRLR taps on the XY tree.
 
@@ -130,8 +237,12 @@ def tap_destinations(
 
 __all__ = [
     "multicast_tree_links",
+    "next_port",
     "route_ports",
+    "routing_cdg_edges",
+    "routing_is_deadlock_free",
     "tap_destinations",
+    "unicast_path",
     "unicast_path_hops",
     "xy_route",
     "yx_route",

@@ -9,6 +9,7 @@ throughput only count packets injected during the measurement window.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -19,9 +20,18 @@ from repro.noc.link import Link, LinkEnd
 from repro.noc.packet import Flit, Packet
 from repro.noc.router import NocConfig, Router
 from repro.noc.stats import NocStats
-from repro.noc.topology import OPPOSITE, MeshTopology, NodeId, Port
+from repro.noc.topology import MeshTopology, NodeId, Port, Topology
 from repro.noc.traffic import SyntheticTraffic
 from repro.noc.vc import OutputPort
+
+
+class EngineFallbackWarning(RuntimeWarning):
+    """A run silently downgraded to a slower-but-exact engine.
+
+    Raised as a *warning*, not an error: the reference engine produces
+    the same statistics, so results stay valid — but campaign authors
+    sizing a run for the fast engine should hear about the slowdown.
+    """
 
 
 @dataclass
@@ -94,7 +104,12 @@ ENGINES = ("reference", "fast")
 
 
 class NocSimulator:
-    """A k x k mesh NoC under a synthetic traffic generator.
+    """A NoC under a synthetic traffic generator.
+
+    The first argument is either an int ``k`` (a flat k x k mesh — the
+    historical constructor, kept bit-identical) or any
+    :class:`~repro.noc.topology.Topology` instance (concentrated mesh,
+    torus, chiplet NoC/NoI, ...).
 
     ``engine`` selects the cycle-loop implementation: ``"reference"``
     (this class — the per-flit golden oracle) or ``"fast"`` (the
@@ -113,6 +128,16 @@ class NocSimulator:
                 f"engine must be one of {ENGINES}, got {engine!r}"
             )
         if engine == "fast" and cls is NocSimulator:
+            topology = args[0] if args else kwargs.get("k")
+            if isinstance(topology, Topology) and not topology.supports_fast_engine:
+                warnings.warn(
+                    f"engine='fast' does not support the {topology.kind} "
+                    "topology yet; falling back to the reference engine "
+                    "(identical results, slower)",
+                    EngineFallbackWarning,
+                    stacklevel=2,
+                )
+                return super().__new__(cls)
             # Deferred import: fastsim subclasses this class.
             from repro.noc.fastsim import FastNocSimulator
 
@@ -121,7 +146,7 @@ class NocSimulator:
 
     def __init__(
         self,
-        k: int,
+        k: int | Topology,
         config: NocConfig | None = None,
         traffic: SyntheticTraffic | None = None,
         injection_rate: float = 0.05,
@@ -130,31 +155,40 @@ class NocSimulator:
         *,
         engine: str = "reference",
     ) -> None:
-        self.topology = MeshTopology(k)
+        self.topology = MeshTopology(k) if isinstance(k, int) else k
         self.config = config or NocConfig()
         self.stats = NocStats()
+        if self.config.routing == "o1turn" and self.topology.table_routed:
+            raise ConfigurationError(
+                "o1turn routing needs two dimension orders; the "
+                f"{self.topology.kind} topology is table-routed (one "
+                "deadlock-free table) — use routing='xy'"
+            )
         self.traffic = traffic or SyntheticTraffic(
             self.topology, injection_rate, pattern, seed=seed
         )
-        if self.traffic.topology.k != k:
-            raise ConfigurationError("traffic generator built for a different mesh")
+        if self.traffic.topology != self.topology:
+            raise ConfigurationError(
+                "traffic generator built for a different topology"
+            )
 
         self.routers: dict[NodeId, Router] = {
             node: Router(node, self.topology, self.config, self.stats)
             for node in self.topology.nodes()
         }
         self.links: list[Link] = []
-        for src, port, dst in self.topology.links():
+        for src, port, dst, in_port in self.topology.directed_links():
             link = Link(
                 src=src,
-                dst=LinkEnd(node=dst, port=OPPOSITE[port]),
+                dst=LinkEnd(node=dst, port=in_port),
                 latency=self.config.link_latency,
+                mm_scale=self.topology.link_scale(src, port),
             )
             self.links.append(link)
             self.routers[src].connect_output(
                 port, link, self.config.n_vcs, self.config.vc_capacity
             )
-            self.routers[dst].upstream[OPPOSITE[port]] = self.routers[src].outputs[port]
+            self.routers[dst].upstream[in_port] = self.routers[src].outputs[port]
         self.nics: dict[NodeId, Nic] = {
             node: Nic(node, self.routers[node], self.config, self.stats, seed=seed)
             for node in self.topology.nodes()
@@ -372,4 +406,4 @@ class NocSimulator:
         return " ".join(parts)
 
 
-__all__ = ["Nic", "NocSimulator"]
+__all__ = ["EngineFallbackWarning", "Nic", "NocSimulator"]

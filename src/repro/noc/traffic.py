@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.noc.packet import Packet, unicast_packet
-from repro.noc.topology import MeshTopology, NodeId
+from repro.noc.topology import NodeId, Topology
 
 PATTERNS = (
     "uniform",
@@ -57,6 +57,40 @@ def pattern_destination(
     return dest
 
 
+def endpoint_destination(
+    pattern: str, src: NodeId, w: int, h: int, rng: np.random.Generator
+) -> NodeId:
+    """Destination on a ``w x h`` endpoint grid (rectangular patterns).
+
+    The generalization of :func:`pattern_destination` for topologies
+    whose endpoint grid is not square (concentrated meshes, chiplet
+    hierarchies); for ``w == h == k`` the draw sequence is identical.
+    """
+    x, y = src
+    if pattern == "uniform":
+        while True:
+            dest = (int(rng.integers(w)), int(rng.integers(h)))
+            if dest != src:
+                return dest
+    if pattern == "transpose":
+        dest = (y, x)
+    elif pattern == "bit_complement":
+        dest = (w - 1 - x, h - 1 - y)
+    elif pattern == "neighbor":
+        dest = ((x + 1) % w, y)
+    elif pattern == "hotspot":
+        dest = (w // 2, h // 2)
+    else:
+        raise ConfigurationError(
+            f"unknown pattern {pattern!r}; choose from {PATTERNS}"
+        )
+    if dest == src:
+        dest = ((x + 1) % w, y)
+        if dest == src:
+            raise ConfigurationError("endpoint grid too small for this pattern")
+    return dest
+
+
 @dataclass
 class SyntheticTraffic:
     """Bernoulli packet injection with a destination pattern.
@@ -64,7 +98,11 @@ class SyntheticTraffic:
     Attributes
     ----------
     topology:
-        The mesh being driven.
+        The topology being driven.  Grid-endpoint topologies (mesh,
+        torus) inject at routers; others (concentrated mesh, chiplet)
+        inject at *endpoints* — per-endpoint Bernoulli coins, with
+        endpoint pairs mapped onto their serving routers and
+        same-router pairs served locally (never entering the network).
     injection_rate:
         Packets per node per cycle (0..1).
     pattern:
@@ -80,7 +118,7 @@ class SyntheticTraffic:
         RNG seed; generation is fully reproducible.
     """
 
-    topology: MeshTopology
+    topology: Topology
     injection_rate: float
     pattern: str = "uniform"
     size_flits: int = 1
@@ -106,6 +144,11 @@ class SyntheticTraffic:
                 f"multicast_fraction must lie in [0, 1], got {self.multicast_fraction}"
             )
         if self.multicast_fraction > 0.0:
+            if not self.topology.grid_endpoints:
+                raise ConfigurationError(
+                    "multicast traffic is only defined over grid-endpoint "
+                    f"topologies (mesh, torus); got {self.topology.kind}"
+                )
             # The degree only matters when multicasts are actually made.
             if self.multicast_degree < 2:
                 raise ConfigurationError(
@@ -113,12 +156,20 @@ class SyntheticTraffic:
                 )
             if self.multicast_degree > self.topology.n_nodes - 1:
                 raise ConfigurationError("multicast_degree exceeds the node count")
+        if not self.topology.grid_endpoints:
+            w, h = self.topology.endpoint_grid()
+            if self.pattern == "transpose" and w != h:
+                raise ConfigurationError(
+                    f"pattern='transpose' needs a square endpoint grid; "
+                    f"the {self.topology.kind} topology's is {w}x{h}"
+                )
         self._rng = np.random.default_rng(self.seed)
         # Cached node walk for the per-cycle Bernoulli loop: this runs
         # once per node per cycle, so rebuilding the node list (and
         # re-resolving the bound methods) each call is measurable for
         # both engines.  The draw sequence is untouched.
         self._node_list = list(self.topology.nodes())
+        self._endpoint_list = list(self.topology.endpoints())
 
     def _multicast_dests(self, src: NodeId) -> frozenset[NodeId]:
         candidates = [n for n in self.topology.nodes() if n != src]
@@ -128,8 +179,32 @@ class SyntheticTraffic:
     def packets_for_cycle(self, cycle: int) -> list[Packet]:
         """Packets generated network-wide at ``cycle``."""
         out: list[Packet] = []
-        k = self.topology.k
         rate = self.injection_rate
+        if not self.topology.grid_endpoints:
+            # Endpoint-level injection (concentrated mesh, chiplet):
+            # one Bernoulli coin per *core*, destinations drawn on the
+            # endpoint grid, both ends mapped to their serving routers.
+            # Same-router pairs are served locally and generate no
+            # network packet.
+            w, h = self.topology.endpoint_grid()
+            rng = self._rng
+            draw = rng.random
+            pattern = self.pattern
+            sf = self.size_flits
+            endpoint_router = self.topology.endpoint_router
+            for src in self._endpoint_list:
+                if draw() >= rate:
+                    continue
+                dest = endpoint_destination(pattern, src, w, h, rng)
+                src_r = endpoint_router(src)
+                dest_r = endpoint_router(dest)
+                if src_r == dest_r:
+                    continue
+                out.append(
+                    unicast_packet(src_r, frozenset((dest_r,)), sf, cycle)
+                )
+            return out
+        k = self.topology.k
         draw = self._rng.random
         if self.multicast_fraction == 0.0:
             # Unicast hot paths.  The per-node Bernoulli coin flips are
@@ -211,4 +286,9 @@ class SyntheticTraffic:
         return out
 
 
-__all__ = ["PATTERNS", "SyntheticTraffic", "pattern_destination"]
+__all__ = [
+    "PATTERNS",
+    "SyntheticTraffic",
+    "endpoint_destination",
+    "pattern_destination",
+]

@@ -24,6 +24,7 @@ import time
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.noc.topology import TOPOLOGY_KINDS
 from repro.runtime import ResultCache
 from repro.service.adapters import ADAPTERS, get_adapter
 from repro.service.db import CampaignDB
@@ -39,9 +40,48 @@ def _load_config(arg: str) -> dict:
     return json.loads(Path(arg).read_text())
 
 
+#: submit-time topology overlay flags -> FaultCampaignConfig field names.
+_TOPOLOGY_FLAGS = {
+    "topology": "topology",
+    "concentration": "concentration",
+    "chiplets_x": "chiplets_x",
+    "chiplets_y": "chiplets_y",
+    "noi_scale": "noi_scale",
+}
+
+
+def _overlay_topology(args: argparse.Namespace, config: dict) -> dict:
+    """Fold ``--topology``-family flags into a fault campaign config.
+
+    The flags are sugar over editing the JSON; they only make sense for
+    campaign kinds whose config is a ``FaultCampaignConfig``, so any
+    other kind rejects them loudly rather than silently dropping them.
+    """
+    overlay = {
+        field: getattr(args, flag)
+        for flag, field in _TOPOLOGY_FLAGS.items()
+        if getattr(args, flag, None) is not None
+    }
+    if not overlay:
+        return config
+    if args.kind != "fault":
+        names = ", ".join(
+            "--" + flag.replace("_", "-")
+            for flag in _TOPOLOGY_FLAGS
+            if getattr(args, flag, None) is not None
+        )
+        raise ReproError(
+            f"{names}: topology flags apply only to --kind fault "
+            f"campaigns, not {args.kind!r}"
+        )
+    return {**config, **overlay}
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     adapter = get_adapter(args.kind)
-    config = adapter.canonical_config(_load_config(args.config))
+    config = adapter.canonical_config(
+        _overlay_topology(args, _load_config(args.config))
+    )
     tasks = [(t.key, t.index, t.spec) for t in adapter.expand(config)]
     with CampaignDB(args.db) as db:
         receipt = db.submit(args.name, args.kind, config, tasks)
@@ -141,6 +181,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", required=True, metavar="JSON",
                    help="config: a JSON file path, '-' for stdin, or an "
                    "inline JSON object")
+    topo = p.add_argument_group(
+        "topology overlays (fault campaigns only)",
+        "override the config's topology fields without editing the JSON",
+    )
+    topo.add_argument("--topology", default=None,
+                      choices=sorted(TOPOLOGY_KINDS),
+                      help="topology family for the fault campaign")
+    topo.add_argument("--concentration", type=int, default=None,
+                      metavar="C", help="cores per router (cmesh)")
+    topo.add_argument("--chiplets-x", type=int, default=None, metavar="N",
+                      help="chiplet grid width (chiplet)")
+    topo.add_argument("--chiplets-y", type=int, default=None, metavar="N",
+                      help="chiplet grid height (chiplet)")
+    topo.add_argument("--noi-scale", type=float, default=None, metavar="X",
+                      help="NoI link length multiplier (chiplet)")
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("status", help="row counts and worker heartbeats")

@@ -32,18 +32,21 @@ from repro.noc import (
     NocConfig,
     NocSimulator,
     SyntheticTraffic,
+    build_topology,
 )
 
 SEED = 7
 
 
 def _build(engine, k, rate, pattern, size_flits=1, seed=SEED, **config_kwargs):
+    # ``k`` is an int mesh radix or a prebuilt Topology of any family.
+    topology = MeshTopology(k) if isinstance(k, int) else k
     traffic = SyntheticTraffic(
-        MeshTopology(k), rate, pattern, size_flits=size_flits, seed=seed
+        topology, rate, pattern, size_flits=size_flits, seed=seed
     )
     config = NocConfig(**config_kwargs) if config_kwargs else None
     return NocSimulator(
-        k, config=config, traffic=traffic, seed=seed, engine=engine
+        topology, config=config, traffic=traffic, seed=seed, engine=engine
     )
 
 
@@ -145,6 +148,92 @@ def test_traffic_parity(k, rate, pattern, size_flits, config_kwargs):
         results.append(_fingerprint(sim))
     reference, fast = results
     assert fast == reference
+
+
+# --- topology-family matrix ------------------------------------------------------------
+#
+# Every fast-engine-supported topology class runs the same differential
+# check: the SoA engine must match the per-flit oracle bitwise on torus
+# wrap routes and concentrated-mesh endpoint traffic, exactly as on the
+# flat mesh.  (The chiplet NoC is reference-only; its fallback contract
+# is covered in tests/test_noc_topology_family.py.)
+
+TOPOLOGY_CASES = [
+    ("torus-k4-uniform-low", ("torus", 4, {}), 0.05, "uniform", 1, {}),
+    ("torus-k4-uniform-high", ("torus", 4, {}), 0.25, "uniform", 1, {}),
+    ("torus-k4-transpose", ("torus", 4, {}), 0.10, "transpose", 1, {}),
+    ("torus-k5-uniform", ("torus", 5, {}), 0.10, "uniform", 1, {}),
+    ("torus-k4-worm2", ("torus", 4, {}), 0.08, "uniform", 2, {}),
+    ("torus-k4-vcs2", ("torus", 4, {}), 0.10, "uniform", 1, {"n_vcs": 2}),
+    ("torus-k4-latency2", ("torus", 4, {}), 0.10, "uniform", 1,
+     {"link_latency": 2}),
+    ("cmesh-k2c4-uniform", ("cmesh", 2, {"concentration": 4}),
+     0.05, "uniform", 1, {}),
+    ("cmesh-k2c4-transpose", ("cmesh", 2, {"concentration": 4}),
+     0.05, "transpose", 1, {}),
+    ("cmesh-k3c2-uniform", ("cmesh", 3, {"concentration": 2}),
+     0.08, "uniform", 1, {}),
+    ("cmesh-k2c4-worm2", ("cmesh", 2, {"concentration": 4}),
+     0.05, "uniform", 2, {}),
+]
+
+
+@pytest.mark.parametrize(
+    "spec,rate,pattern,size_flits,config_kwargs",
+    [case[1:] for case in TOPOLOGY_CASES],
+    ids=[case[0] for case in TOPOLOGY_CASES],
+)
+def test_topology_parity(spec, rate, pattern, size_flits, config_kwargs):
+    kind, k, builder_kwargs = spec
+    results = []
+    for engine in ENGINES:
+        topology = build_topology(kind, k, **builder_kwargs)
+        sim = _build(
+            engine, topology, rate, pattern, size_flits, **config_kwargs
+        )
+        sim.run(warmup=40, measure=200, drain_limit=20_000)
+        results.append(_fingerprint(sim))
+    reference, fast = results
+    assert fast == reference
+
+
+TOPOLOGY_FAULT_CASES = [
+    ("torus-ber-crc", ("torus", 4, {}), UniformBer(ber=1e-3), "crc"),
+    ("torus-ber-e2e", ("torus", 4, {}), UniformBer(ber=1e-3), "e2e"),
+    (
+        "torus-dead-reroute",
+        ("torus", 4, {}),
+        DeadLinks(n_random=2, fail_cycle=50, mode="garbage"),
+        "reroute",
+    ),
+    (
+        "cmesh-ber-crc",
+        ("cmesh", 2, {"concentration": 4}),
+        UniformBer(ber=1e-3),
+        "crc",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "spec,model,protocol",
+    [case[1:] for case in TOPOLOGY_FAULT_CASES],
+    ids=[case[0] for case in TOPOLOGY_FAULT_CASES],
+)
+def test_topology_fault_parity(spec, model, protocol):
+    kind, k, builder_kwargs = spec
+    results = []
+    for engine in ENGINES:
+        topology = build_topology(kind, k, **builder_kwargs)
+        sim = _build(engine, topology, 0.06, "uniform", 2)
+        layer = FaultLayer(
+            model, ProtectionConfig(protocol=protocol), seed=13
+        ).attach(sim)
+        sim.run(warmup=30, measure=200, drain_limit=20_000)
+        results.append((_fingerprint(sim), _fault_fingerprint(layer)))
+    reference, fast = results
+    assert fast[0] == reference[0]
+    assert fast[1] == reference[1]
 
 
 # --- fault-injection matrix ------------------------------------------------------------

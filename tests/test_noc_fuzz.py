@@ -22,7 +22,13 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.noc import MeshTopology, NocConfig, NocSimulator, SyntheticTraffic
+from repro.noc import (
+    MeshTopology,
+    NocConfig,
+    NocSimulator,
+    SyntheticTraffic,
+    build_topology,
+)
 from repro.noc.routing import unicast_path_hops
 from repro.noc.topology import OPPOSITE, Port
 
@@ -389,6 +395,127 @@ def test_fast_engine_conservation_invariants_every_cycle(params):
     delivered = [(d.packet_id, d.dest) for d in sim.stats.deliveries]
     assert len(delivered) == len(set(delivered)), "duplicate delivery"
     assert sorted(delivered) == sorted(owed), "delivery ledger mismatch"
+
+
+# --- topology-family conservation fuzz -------------------------------------------------
+#
+# The same invariants, fuzzed across every fast-engine-supported
+# topology class (mesh, concentrated mesh, torus).  Table-routed
+# topologies pin routing to "xy" (the table override); patterns stay in
+# the subset every endpoint grid supports.
+
+family_configs = st.fixed_dictionaries(
+    {
+        "spec": st.sampled_from(
+            [
+                ("mesh", 3, {}),
+                ("mesh", 4, {}),
+                ("torus", 3, {}),
+                ("torus", 4, {}),
+                ("cmesh", 2, {"concentration": 2}),
+                ("cmesh", 2, {"concentration": 4}),
+                ("cmesh", 3, {"concentration": 2}),
+            ]
+        ),
+        "n_vcs": st.sampled_from([2, 4]),
+        "vc_capacity": st.integers(1, 4),
+        "link_latency": st.integers(1, 2),
+        "enable_bypass": st.booleans(),
+        "rate": st.floats(0.01, 0.10),
+        "pattern": st.sampled_from(["uniform", "neighbor"]),
+        "size_flits": st.integers(1, 3),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+def _build_family(params, engine):
+    kind, k, builder_kwargs = params["spec"]
+    topo = build_topology(kind, k, **builder_kwargs)
+    traffic = SyntheticTraffic(
+        topo,
+        params["rate"],
+        params["pattern"],
+        size_flits=params["size_flits"],
+        seed=params["seed"],
+    )
+    config = NocConfig(
+        n_vcs=params["n_vcs"],
+        vc_capacity=params["vc_capacity"],
+        link_latency=params["link_latency"],
+        enable_bypass=params["enable_bypass"],
+    )
+    return NocSimulator(topo, config=config, traffic=traffic, engine=engine)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=family_configs)
+def test_family_fast_engine_conservation_every_cycle(params):
+    sim = _build_family(params, engine="fast")
+
+    owed: list[tuple[int, tuple[int, int]]] = []
+    for nic in sim.nics.values():
+        original = nic.offer
+
+        def offer(packet, _original=original):
+            owed.extend((packet.packet_id, d) for d in packet.dests)
+            _original(packet)
+
+        nic.offer = offer
+
+    sim.stats.measure_start, sim.stats.measure_end = 0, 120
+    for _ in range(120):
+        sim.step()
+        _check_fast_credit_conservation(sim)
+        _check_fast_flit_conservation(sim)
+
+    sim.traffic.injection_rate = 0.0
+    for _ in range(20_000):
+        if not sim._network_busy():
+            break
+        sim.step()
+        _check_fast_credit_conservation(sim)
+        _check_fast_flit_conservation(sim)
+    assert not sim._network_busy(), "network failed to drain"
+
+    delivered = [(d.packet_id, d.dest) for d in sim.stats.deliveries]
+    assert len(delivered) == len(set(delivered)), "duplicate delivery"
+    assert sorted(delivered) == sorted(owed), "delivery ledger mismatch"
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=family_configs)
+def test_family_fast_matches_reference(params):
+    fingerprints = []
+    for engine in ("reference", "fast"):
+        sim = _build_family(params, engine=engine)
+        stats = sim.run(warmup=20, measure=100, drain_limit=20_000)
+        fingerprints.append(
+            (
+                sim.cycle,
+                stats.injected_packets,
+                stats.injected_flits,
+                stats.buffer_writes,
+                stats.buffer_reads,
+                stats.crossbar_traversals,
+                stats.link_traversals,
+                stats.ejections,
+                sorted(
+                    (d.src, d.dest, d.inject_cycle, d.deliver_cycle)
+                    for d in stats.deliveries
+                ),
+                [link.traversals for link in sim.links],
+            )
+        )
+    assert fingerprints[0] == fingerprints[1]
 
 
 @settings(
