@@ -212,3 +212,100 @@ def test_bench_topology_family(benchmark, save_report):
     for name, row in rows.items():
         assert row["delivered"] > 0, f"{name}: nothing delivered"
         assert row["cycles_per_sec"] > 0
+
+
+# --- trace replay ----------------------------------------------------------------------
+#
+# One timed trace-replay row: a payload-carrying bursty run recorded
+# into a trace, replayed on both engines with data-dependent link
+# pricing live.  Appends to the same BENCH_noc_traffic.json trajectory,
+# so an ingestion or transition-counting regression shows up across
+# commits alongside the engine-speedup records.
+
+
+def _measure_trace_replay(k, rate, record_cycles, seed, warm, cycles):
+    from repro.noc import MeshTopology, TraceTraffic, record_trace
+    from repro.workload import build_traffic
+
+    topology = MeshTopology(k)
+    source = build_traffic(
+        topology, "bursty", injection_rate=rate, seed=seed,
+        payload_mode="random",
+    )
+    trace = record_trace(source, record_cycles)
+    rows = {}
+    for engine in ("reference", "fast"):
+        traffic = TraceTraffic(
+            topology=topology, entries=trace.entries,
+            flit_bits=trace.flit_bits,
+        )
+        sim = NocSimulator(topology, traffic=traffic, seed=seed, engine=engine)
+        sim.stats.measure_start, sim.stats.measure_end = 0, 10**9
+        for _ in range(warm):
+            sim.step()
+        t0 = time.perf_counter()
+        for _ in range(cycles):
+            sim.step()
+        elapsed = time.perf_counter() - t0
+        rows[engine] = {
+            "cycles_per_sec": cycles / elapsed,
+            "us_per_cycle": 1e6 * elapsed / cycles,
+            "delivered": sim.stats.delivered_count,
+            "payload_transitions": sum(
+                link.payload_transitions for link in sim.links
+            ),
+        }
+    rows["n_packets"] = trace.n_packets
+    return rows
+
+
+def test_bench_trace_replay(benchmark, save_report):
+    rows = benchmark.pedantic(
+        _measure_trace_replay,
+        kwargs={
+            "k": 4,
+            "rate": 0.10,
+            "record_cycles": 2000 if FULL else 600,
+            "seed": 7,
+            "warm": 100 if FULL else 50,
+            "cycles": 1000 if FULL else 300,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    n_packets = rows.pop("n_packets")
+    record = {
+        "kind": "trace-replay",
+        "n_packets": n_packets,
+        "rows": rows,
+        "full": FULL,
+        "unix_time": round(time.time(), 1),
+    }
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    trajectory_path = OUTPUT_DIR / "BENCH_noc_traffic.json"
+    trajectory = (
+        json.loads(trajectory_path.read_text()) if trajectory_path.exists() else []
+    )
+    trajectory.append(record)
+    trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    lines = [
+        f"TRACE REPLAY — 4x4 mesh, {n_packets} recorded packets, "
+        "random payload, data-dependent pricing"
+    ]
+    for engine, row in rows.items():
+        lines.append(
+            f"  {engine:<10} {row['us_per_cycle']:8.1f} us/cycle   "
+            f"{row['cycles_per_sec']:10.0f} cycles/s   "
+            f"{row['delivered']:5d} delivered"
+        )
+    save_report("BENCH_trace_replay", "\n".join(lines))
+
+    for engine, row in rows.items():
+        assert row["delivered"] > 0, f"{engine}: nothing delivered"
+        assert row["payload_transitions"] > 0, f"{engine}: nothing counted"
+    assert (
+        rows["reference"]["payload_transitions"]
+        == rows["fast"]["payload_transitions"]
+    )

@@ -51,6 +51,7 @@ from repro.fault import (
 )
 from repro.noc.topology import TOPOLOGY_KINDS
 from repro.runtime import ResilienceConfig
+from repro.workload import COLLECTIVES, PAYLOAD_MODES, WORKLOADS
 
 
 def parse_args(argv: list[str]) -> argparse.Namespace:
@@ -104,6 +105,29 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
                         "explicit EngineFallbackWarning when --engine fast)")
     parser.add_argument("--multicast-degree", type=int, default=4, metavar="D",
                         help="destinations per multicast packet (default: 4)")
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        default="synthetic",
+                        help="workload family (default: synthetic)")
+    parser.add_argument("--trace-path", default=None, metavar="FILE",
+                        help="trace file to replay (--workload trace)")
+    parser.add_argument("--burst-on", type=float, default=0.05, metavar="P",
+                        help="Markov P(off->on) per cycle (--workload bursty)")
+    parser.add_argument("--burst-off", type=float, default=0.15, metavar="P",
+                        help="Markov P(on->off) per cycle (--workload bursty)")
+    parser.add_argument("--collective-fraction", type=float, default=0.25,
+                        metavar="F",
+                        help="multicast share (--workload collective)")
+    parser.add_argument("--collective", choices=sorted(COLLECTIVES),
+                        default="row",
+                        help="collective destination set (default: row)")
+    parser.add_argument("--payload-mode", choices=sorted(PAYLOAD_MODES),
+                        default="constant",
+                        help="what bits flits carry; non-constant switches "
+                        "link pricing to counted bit transitions "
+                        "(default: constant)")
+    parser.add_argument("--no-coupling", action="store_true",
+                        help="drop the crosstalk coupling term from "
+                        "data-dependent link pricing")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (0 = all cores)")
     parser.add_argument("--seed", type=int, default=7,
@@ -131,12 +155,20 @@ def parse_args(argv: list[str]) -> argparse.Namespace:
 
 
 def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
-    topology = dict(
+    shared = dict(
         topology=args.topology,
         concentration=args.concentration,
         chiplets_x=args.chiplets_x,
         chiplets_y=args.chiplets_y,
         noi_scale=args.noi_scale,
+        workload=args.workload,
+        trace_path=args.trace_path,
+        burst_on=args.burst_on,
+        burst_off=args.burst_off,
+        collective_fraction=args.collective_fraction,
+        collective=args.collective,
+        payload_mode=args.payload_mode,
+        coupling=not args.no_coupling,
     )
     if args.smoke:
         # --smoke shrinks windows and the BER grid but keeps the
@@ -156,7 +188,7 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
             engine=args.engine,
             multicast_fraction=args.multicast_fraction,
             multicast_degree=args.multicast_degree,
-            **topology,
+            **shared,
         )
     return FaultCampaignConfig(
         k=args.k,
@@ -173,7 +205,7 @@ def build_config(args: argparse.Namespace) -> FaultCampaignConfig:
         engine=args.engine,
         multicast_fraction=args.multicast_fraction,
         multicast_degree=args.multicast_degree,
-        **topology,
+        **shared,
     )
 
 

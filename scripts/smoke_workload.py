@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Workload smoke: a trace-replay fault campaign through the service path.
+
+Run:  PYTHONPATH=src python scripts/smoke_workload.py
+
+The end-to-end acceptance check for the workload axis (docs/WORKLOADS.md):
+a payload-carrying bursty run is recorded into a trace file, a tiny
+trace-replay fault campaign is submitted through the service CLI's
+``--workload``/``--trace-path`` overlay flags, drained by a worker
+process, and the merged result must be **bitwise identical** to the
+uninterrupted single-process ``run_fault_campaign`` baseline built from
+the same config — proving that workload parameters (and the trace's
+*content* identity, via the canonical ``trace_hash``) survive the
+submit -> canonical-config -> task-expansion -> worker -> merge round
+trip, with the replayed payload bits pricing the links
+data-dependently on both sides.  Exits nonzero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.fault.campaign import FaultCampaignConfig, run_fault_campaign
+from repro.noc import MeshTopology, record_trace
+from repro.service import CampaignDB, get_adapter
+from repro.service.cli import main as service_main
+from repro.workload import build_traffic
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Tiny but multi-point: 4 task rows on a 3x3 mesh replaying the trace.
+CAMPAIGN = {
+    "bers": [1e-3, 1e-2],
+    "protocols": ["none", "crc"],
+    "k": 3,
+    "warmup": 20,
+    "measure": 80,
+    "seed": 7,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="overall smoke budget in seconds")
+    args = parser.parse_args()
+
+    tmp = Path(tempfile.mkdtemp(prefix="workload_smoke_"))
+    db_path = tmp / "campaigns.sqlite"
+
+    # Record a payload-carrying bursty run into a trace file: the
+    # campaign replays real per-flit bits, so link pricing runs the
+    # data-dependent model end to end.
+    source = build_traffic(
+        MeshTopology(CAMPAIGN["k"]), "bursty",
+        injection_rate=0.08, seed=CAMPAIGN["seed"], payload_mode="random",
+    )
+    trace = record_trace(source, 60)
+    trace_path = tmp / "workload.trace.json"
+    trace.save(trace_path)
+
+    # Submit through the real CLI so the --workload/--trace-path overlay
+    # flags are on the tested path, not just FaultCampaignConfig(...).
+    rc = service_main([
+        "--db", str(db_path),
+        "submit",
+        "--name", "workload-smoke",
+        "--kind", "fault",
+        "--config", json.dumps(CAMPAIGN),
+        "--workload", "trace",
+        "--trace-path", str(trace_path),
+    ])
+    if rc != 0:
+        print(f"FAIL: submit exited {rc}", file=sys.stderr)
+        return 1
+
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    worker = subprocess.Popen(
+        [
+            sys.executable,
+            str(REPO / "scripts" / "run_worker.py"),
+            "--db", str(db_path),
+            "--worker-id", "workload-worker",
+            "--drain",
+            "--poll-seconds", "0.1",
+        ],
+        env=env,
+    )
+    deadline = time.monotonic() + args.timeout
+    try:
+        while worker.poll() is None:
+            if time.monotonic() > deadline:
+                print("FAIL: worker did not drain in time", file=sys.stderr)
+                worker.kill()
+                return 1
+            time.sleep(0.2)
+        if worker.returncode != 0:
+            print(f"FAIL: worker exited {worker.returncode}", file=sys.stderr)
+            return 1
+    finally:
+        if worker.poll() is None:
+            worker.kill()
+
+    adapter = get_adapter("fault")
+    with CampaignDB(db_path) as db:
+        _id, _kind, config = db.campaign("workload-smoke")
+        status = db.status("workload-smoke")[0]
+        payloads = db.payloads("workload-smoke")
+    if not status.complete:
+        print(f"FAIL: campaign incomplete: {status}", file=sys.stderr)
+        return 1
+    if config.get("workload") != "trace":
+        print(f"FAIL: stored config lost the workload overlay: {config}",
+              file=sys.stderr)
+        return 1
+    if config.get("trace_hash") != trace.content_hash():
+        print("FAIL: canonical config does not carry the trace's content "
+              f"hash: {config.get('trace_hash')}", file=sys.stderr)
+        return 1
+    merged = adapter.merge(config, payloads)
+
+    baseline_cfg = FaultCampaignConfig(**{
+        k: tuple(v) if isinstance(v, list) else v
+        for k, v in config.items()
+        if k != "trace_hash"
+    })
+    print(f"campaign: {baseline_cfg.describe()}, "
+          f"engine {baseline_cfg.effective_engine(warn=False)}")
+    baseline = run_fault_campaign(baseline_cfg)
+
+    got = json.dumps([asdict(p) for p in merged.points], sort_keys=True)
+    want = json.dumps([asdict(p) for p in baseline.points], sort_keys=True)
+    if got != want:
+        print("FAIL: merged service result differs from the "
+              "single-process baseline", file=sys.stderr)
+        return 1
+    print(f"OK: {status.n_done}/{status.n_tasks} trace-replay tasks "
+          f"(trace {trace.content_hash()[:12]}, {trace.n_packets} packets); "
+          "merged result bitwise-identical to the single-process baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -812,19 +812,44 @@ def e14_noc_traffic(
     patterns: tuple[str, ...] = ("uniform", "transpose"),
     measure: int = 400,
     seed: int = 5,
+    payload_mode: str = "constant",
+    coupling: bool = True,
 ) -> ExperimentResult:
-    """NoC-level: latency/throughput/energy, SRLR vs full-swing datapath."""
+    """NoC-level: latency/throughput/energy, SRLR vs full-swing datapath.
+
+    ``payload_mode`` selects what bits the flits carry (docs/WORKLOADS.md):
+    the default ``"constant"`` prices links at the calibrated worst-case
+    per-flit energy (the golden-pinned behavior); ``"random"`` /
+    ``"worst_case"`` attach payload words and switch link pricing to
+    counted bit transitions plus the crosstalk coupling term (dropped
+    with ``coupling=False``).
+    """
+    from repro.workload import build_traffic
+
     rows = []
     data: dict[str, Any] = {"runs": []}
     for pattern in patterns:
         for rate in rates:
+            topology = MeshTopology(k)
+            traffic = build_traffic(
+                topology,
+                injection_rate=rate,
+                pattern=pattern,
+                seed=seed,
+                payload_mode=payload_mode,
+            ) if payload_mode != "constant" else None
             sim = NocSimulator(
-                k, injection_rate=rate, pattern=pattern, seed=seed,
-                engine="fast",
+                k, traffic=traffic, injection_rate=rate, pattern=pattern,
+                seed=seed, engine="fast",
             )
             stats = sim.run(warmup=150, measure=measure)
-            srlr = price_stats(stats, datapath="srlr")
-            fs = price_stats(stats, datapath="full_swing")
+            srlr = price_stats(
+                stats, datapath="srlr", links=sim.links, coupling=coupling
+            )
+            fs = price_stats(
+                stats, datapath="full_swing", links=sim.links,
+                coupling=coupling,
+            )
             rows.append(
                 [
                     pattern,

@@ -39,6 +39,7 @@ from repro.dse.objectives import (
     Fig8Evaluator,
     InfeasibleDesign,
     NocTopologyEvaluator,
+    NocWorkloadEvaluator,
     Objective,
     EVALUATORS,
     SizingEvaluator,
@@ -91,6 +92,7 @@ __all__ = [
     "InfeasibleDesign",
     "LhsStrategy",
     "NocTopologyEvaluator",
+    "NocWorkloadEvaluator",
     "Nsga2Strategy",
     "Objective",
     "ParamSpace",

@@ -21,6 +21,10 @@ Provided adapters:
 * :class:`NocTopologyEvaluator` — measured latency vs per-endpoint
   goodput across the topology family (mesh, cmesh, torus, chiplet)
   at a matched endpoint budget, with injection rate as the load axis.
+* :class:`NocWorkloadEvaluator` — data-dependent effective fJ/bit/mm
+  vs goodput across the workload family (uniform/transpose synthetics,
+  bursty, collective, optional trace replay), flits carrying
+  ``payload_mode`` bits so link energy is transition-counted.
 """
 
 from __future__ import annotations
@@ -43,8 +47,9 @@ from repro.noc.simulator import NocSimulator
 from repro.noc.topology import Topology, build_topology
 from repro.noc.traffic import SyntheticTraffic
 from repro.tech.technology import tech_45nm_soi
-from repro.units import UM
+from repro.units import FJ, MM, UM
 from repro.wire.rc import WireGeometry
+from repro.workload import PAYLOAD_MODES, build_traffic
 
 
 class InfeasibleDesign(Exception):
@@ -327,6 +332,135 @@ class NocTopologyEvaluator:
         }
 
 
+@dataclass(frozen=True)
+class NocWorkloadEvaluator:
+    """Data-dependent fJ/bit/mm vs goodput across the workload family.
+
+    Parameters searched: ``workload_index`` — a discrete index into
+    :meth:`menu`, which holds the workload family on a flat ``k x k``
+    mesh (uniform and transpose synthetics, Markov on/off bursts, a
+    row-collective multicast mix, plus replay of ``trace_path`` when
+    one is given) — and ``injection_rate`` in packets per node per
+    cycle.  Flits carry ``payload_mode`` bits, so links are priced by
+    the counted-transition + crosstalk-coupling model of
+    docs/WORKLOADS.md rather than the constant per-bit worst case: the
+    searcher measures that different workloads cost different energy
+    per *delivered* bit-mm, not just different latency.  Trace replay
+    ignores ``injection_rate`` (the trace fixes its own schedule) and
+    keeps its recorded payload bits.
+    """
+
+    k: int = 4
+    warmup: int = 100
+    measure: int = 400
+    size_flits: int = 1
+    payload_mode: str = "random"
+    coupling: bool = True
+    trace_path: str | None = None
+
+    objectives: ClassVar[tuple[Objective, ...]] = (
+        Objective("energy_fj_per_bit_mm", "min", "fJ/bit/mm"),
+        Objective("throughput_per_endpoint", "max", "pkt/endpoint/cycle"),
+    )
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ConfigurationError(
+                f"NocWorkloadEvaluator needs k >= 2, got {self.k}"
+            )
+        if self.warmup < 0 or self.measure < 1:
+            raise ConfigurationError(
+                f"need warmup >= 0 and measure >= 1, got "
+                f"({self.warmup}, {self.measure})"
+            )
+        if self.payload_mode not in PAYLOAD_MODES:
+            raise ConfigurationError(
+                f"payload_mode must be one of {PAYLOAD_MODES}, "
+                f"got {self.payload_mode!r}"
+            )
+
+    def menu(self) -> tuple[str, ...]:
+        """The searchable workloads, index-aligned with ``workload_index``."""
+        base = ("uniform", "transpose", "bursty", "collective")
+        return base + (("trace",) if self.trace_path else ())
+
+    def __call__(self, params: dict[str, float], seed: int) -> dict[str, float]:
+        index = int(round(params["workload_index"]))
+        menu = self.menu()
+        if not 0 <= index < len(menu):
+            raise ConfigurationError(
+                f"workload_index must lie in [0, {len(menu) - 1}], got {index}"
+            )
+        name = menu[index]
+        topology = build_topology("mesh", self.k)
+        rate = float(params["injection_rate"])
+        common = dict(size_flits=self.size_flits, seed=seed,
+                      payload_mode=self.payload_mode)
+        if name == "trace":
+            traffic = build_traffic(
+                topology, "trace", trace_path=self.trace_path
+            )
+        elif name in ("bursty", "collective"):
+            traffic = build_traffic(
+                topology, name, injection_rate=rate, **common
+            )
+        else:
+            traffic = build_traffic(
+                topology, "synthetic", injection_rate=rate, pattern=name,
+                **common,
+            )
+        engine = "fast" if traffic.multicast_fraction == 0.0 else "reference"
+        sim = NocSimulator(topology, traffic=traffic, seed=seed, engine=engine)
+        try:
+            sim.run(warmup=self.warmup, measure=self.measure)
+        except LivelockError as exc:
+            raise InfeasibleDesign(
+                f"{name} saturated at rate {rate:.3f}: {exc}"
+            ) from exc
+        stats = sim.stats
+        clean = stats.clean_measured()
+        if not clean:
+            raise InfeasibleDesign(
+                f"{name}: no deliveries in the measurement window"
+            )
+        model = RouterPowerModel()
+        report = price_stats(
+            stats, model, links=sim.links, coupling=self.coupling
+        )
+        flit_bits = model.config.flit_bits
+        link_mm = model.config.link_length / MM
+        if name == "trace":
+            # Trace packets vary in size; bill delivered bit-mm at the
+            # trace's mean packet size (DeliveryRecord carries no size).
+            size = sum(e.size_flits for e in traffic.entries) / len(
+                traffic.entries
+            )
+        else:
+            size = float(self.size_flits)
+        useful_bit_mm = 0.0
+        for rec in clean:
+            hops = (
+                topology.route_mm(rec.src, rec.dest)
+                if rec.src is not None
+                else 1
+            )
+            useful_bit_mm += size * flit_bits * hops * link_mm
+        return {
+            "energy_fj_per_bit_mm": report.total / useful_bit_mm / FJ,
+            "throughput_per_endpoint": stats.throughput(
+                len(topology.endpoints())
+            ),
+            "average_latency_cycles": stats.average_latency,
+            "payload_transitions": float(
+                sum(link.payload_transitions for link in sim.links)
+            ),
+            "coupling_events": float(
+                sum(link.coupling_events for link in sim.links)
+            ),
+            "workload_index": float(index),
+        }
+
+
 #: Named evaluator classes submittable by JSON configs (the campaign
 #: service and other front ends that cannot ship arbitrary callables
 #: reference evaluators by name + keyword arguments).
@@ -335,6 +469,7 @@ EVALUATORS = {
     "sizing": SizingEvaluator,
     "zdt1": Zdt1Evaluator,
     "noc_topology": NocTopologyEvaluator,
+    "noc_workload": NocWorkloadEvaluator,
 }
 
 
@@ -352,6 +487,7 @@ __all__ = [
     "Fig8Evaluator",
     "InfeasibleDesign",
     "NocTopologyEvaluator",
+    "NocWorkloadEvaluator",
     "Objective",
     "SizingEvaluator",
     "Zdt1Evaluator",

@@ -41,6 +41,15 @@ class CheckpointError(ConfigurationError):
     clobbering an existing run, records without a header, ...)."""
 
 
+class WorkloadConfigError(ConfigurationError):
+    """A campaign config combined workload/traffic fields that do not
+    apply together (a trace replay given synthetic-generator knobs,
+    burst parameters without the bursty workload, ...).  Mirrors the
+    topology-flag guards in :func:`repro.noc.topology.build_topology`:
+    fields that would otherwise be silently ignored refuse loudly,
+    naming the offending combination."""
+
+
 class NocError(ReproError):
     """Base class for NoC simulator errors."""
 

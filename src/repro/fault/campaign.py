@@ -30,7 +30,7 @@ import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.errors import ConfigurationError, LivelockError
+from repro.errors import ConfigurationError, LivelockError, WorkloadConfigError
 from repro.fault.energy import ProtectionCosts, price_fault_run
 from repro.fault.injector import FaultLayer
 from repro.fault.models import UniformBer
@@ -38,7 +38,15 @@ from repro.fault.protection import PROTOCOLS, ProtectionConfig
 from repro.mc.ber import ber_upper_bound_many
 from repro.noc.simulator import ENGINES, EngineFallbackWarning, NocSimulator
 from repro.noc.topology import TOPOLOGY_KINDS, Topology, build_topology
-from repro.noc.traffic import PATTERNS, SyntheticTraffic
+from repro.noc.trace import topology_spec, trace_file_hash
+from repro.noc.traffic import PATTERNS
+from repro.workload import (
+    COLLECTIVES,
+    PAYLOAD_MODES,
+    WORKLOADS,
+    build_traffic,
+    load_trace_cached,
+)
 from repro.runtime import (
     CheckpointStore,
     ResilienceConfig,
@@ -86,6 +94,30 @@ class FaultCampaignConfig:
     #: destination set of ``multicast_degree``); 0 keeps pure unicast.
     multicast_fraction: float = 0.0
     multicast_degree: int = 4
+    #: Workload family (:data:`repro.workload.WORKLOADS`): the Bernoulli
+    #: synthetics, Markov on/off bursts, multicast collectives, or a
+    #: recorded trace replay.  Fields that do not apply to the selected
+    #: workload must stay at their defaults — mixing refuses loudly with
+    #: a :class:`~repro.errors.WorkloadConfigError`.
+    workload: str = "synthetic"
+    #: Trace file (JSON or text format) for workload="trace".  Campaign
+    #: identity hashes the trace's *content*, not this path.
+    trace_path: str | None = None
+    #: Markov chain rates for workload="bursty": P(off->on), P(on->off).
+    burst_on: float = 0.05
+    burst_off: float = 0.15
+    #: Collective mix for workload="collective": multicast share and
+    #: destination-set construction ("row", "col", "random").
+    collective_fraction: float = 0.25
+    collective: str = "row"
+    #: What bits flits carry (:data:`repro.workload.PAYLOAD_MODES`):
+    #: "constant" keeps the worst-case per-bit price, "random" /
+    #: "worst_case" switch link pricing to counted bit transitions.
+    #: Traces carry their own recorded bits.
+    payload_mode: str = "constant"
+    #: Include the coupled-line Miller surcharge in data-dependent
+    #: pricing; only meaningful when payload bits are being counted.
+    coupling: bool = True
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -130,6 +162,102 @@ class FaultCampaignConfig:
             raise ConfigurationError(
                 f"protocols must be a non-empty subset of {PROTOCOLS}"
             )
+        self._validate_workload(topo)
+
+    def _validate_workload(self, topo: Topology) -> None:
+        """Refuse workload/traffic field combinations that do not apply.
+
+        Mirrors :func:`~repro.noc.topology.build_topology`'s named-flag
+        guards: a knob the selected workload would silently ignore is a
+        :class:`~repro.errors.WorkloadConfigError` naming the offending
+        combination, never a quiet no-op.
+        """
+        if self.workload not in WORKLOADS:
+            raise WorkloadConfigError(
+                f"workload must be one of {WORKLOADS}, got {self.workload!r}"
+            )
+        if self.payload_mode not in PAYLOAD_MODES:
+            raise WorkloadConfigError(
+                f"payload_mode must be one of {PAYLOAD_MODES}, "
+                f"got {self.payload_mode!r}"
+            )
+        if self.collective not in COLLECTIVES:
+            raise WorkloadConfigError(
+                f"collective must be one of {COLLECTIVES}, "
+                f"got {self.collective!r}"
+            )
+        if self.trace_path is not None and self.workload != "trace":
+            raise WorkloadConfigError(
+                f"trace_path applies only to workload='trace' "
+                f"(got workload={self.workload!r})"
+            )
+        if self.workload != "bursty" and (
+            self.burst_on != 0.05 or self.burst_off != 0.15
+        ):
+            raise WorkloadConfigError(
+                f"burst_on/burst_off=({self.burst_on}, {self.burst_off}) "
+                f"apply only to workload='bursty' "
+                f"(got workload={self.workload!r})"
+            )
+        if self.workload != "collective" and (
+            self.collective_fraction != 0.25 or self.collective != "row"
+        ):
+            raise WorkloadConfigError(
+                f"collective_fraction/collective=({self.collective_fraction}, "
+                f"{self.collective!r}) apply only to workload='collective' "
+                f"(got workload={self.workload!r})"
+            )
+        if self.workload == "bursty" and self.multicast_fraction != 0.0:
+            raise WorkloadConfigError(
+                f"workload='bursty' is unicast-only; "
+                f"multicast_fraction={self.multicast_fraction} does not apply"
+            )
+        if self.workload == "collective" and self.multicast_fraction != 0.0:
+            raise WorkloadConfigError(
+                "workload='collective' mixes multicast via "
+                f"collective_fraction; multicast_fraction="
+                f"{self.multicast_fraction} does not apply"
+            )
+        if not self.coupling and self.payload_mode == "constant" and (
+            self.workload != "trace"
+        ):
+            raise WorkloadConfigError(
+                "coupling=False only affects data-dependent pricing; "
+                "select payload_mode='random'/'worst_case' or a payload-"
+                "carrying trace"
+            )
+        if self.workload == "trace":
+            if self.trace_path is None:
+                raise WorkloadConfigError("workload='trace' needs a trace_path")
+            if self.payload_mode != "constant":
+                raise WorkloadConfigError(
+                    "trace replay carries its own recorded payload; "
+                    f"payload_mode={self.payload_mode!r} does not apply"
+                )
+            knobs = (
+                ("injection_rate", self.injection_rate, 0.05),
+                ("pattern", self.pattern, "uniform"),
+                ("size_flits", self.size_flits, 2),
+                ("multicast_fraction", self.multicast_fraction, 0.0),
+                ("multicast_degree", self.multicast_degree, 4),
+            )
+            offending = [
+                f"{name}={value!r}"
+                for name, value, default in knobs
+                if value != default
+            ]
+            if offending:
+                raise WorkloadConfigError(
+                    "trace replay defines its own packet stream; generator "
+                    f"knobs do not apply: {', '.join(offending)}"
+                )
+            trace = load_trace_cached(self.trace_path)
+            if trace.topology != topo:
+                raise WorkloadConfigError(
+                    f"trace {self.trace_path} was recorded on "
+                    f"{topology_spec(trace.topology)} but the campaign "
+                    f"asks for {topology_spec(topo)}"
+                )
 
     def build_topology(self) -> Topology:
         """The topology instance this campaign simulates over."""
@@ -154,9 +282,29 @@ class FaultCampaignConfig:
         return f"{self.k}x{self.k} {self.topology}"
 
     def content_hash(self) -> str:
-        """The content-hash identity of this campaign configuration."""
+        """The content-hash identity of this campaign configuration.
+
+        A trace campaign's identity follows the trace's *content*: the
+        path is replaced by :func:`~repro.noc.trace.trace_file_hash`, so
+        the same trace at two paths (or in two encodings) is the same
+        campaign, and an edited trace file is a different one.
+        """
         # v2: topology-class parameters joined the config identity.
-        return content_key("fault-campaign/v2", self)
+        # v3: the workload axis joined; trace_path hashes by content.
+        fields = asdict(self)
+        if self.workload == "trace":
+            fields["trace_path"] = trace_file_hash(self.trace_path)
+        return content_key("fault-campaign/v3", fields)
+
+    def workload_multicast_fraction(self) -> float:
+        """The multicast share the selected workload will inject."""
+        if self.multicast_fraction > 0.0:
+            return self.multicast_fraction
+        if self.workload == "collective":
+            return self.collective_fraction
+        if self.workload == "trace":
+            return load_trace_cached(self.trace_path).multicast_fraction
+        return 0.0
 
     def effective_engine(self, warn: bool = True) -> str:
         """The engine a point will actually run on.
@@ -168,12 +316,14 @@ class FaultCampaignConfig:
         campaign's config hash — so a surprisingly slow campaign is
         attributable, never a bare silent reference-engine run.
         """
-        if self.engine == "fast" and self.multicast_fraction > 0.0:
+        multicast = self.workload_multicast_fraction()
+        if self.engine == "fast" and multicast > 0.0:
             if warn:
                 warnings.warn(
                     f"campaign {self.content_hash()[:16]}: engine='fast' "
                     f"does not support multicast traffic "
-                    f"(multicast_fraction={self.multicast_fraction}); "
+                    f"(workload={self.workload!r} injects a multicast "
+                    f"fraction of {multicast:g}); "
                     f"falling back to the reference engine",
                     EngineFallbackWarning,
                     stacklevel=3,
@@ -246,22 +396,37 @@ def _evaluate_point(
     # The traffic stream is shared across protocols at a BER point (same
     # derived seed), so scheme comparisons see identical offered load.
     # The mesh token predates the topology zoo and stays unchanged so
-    # mesh campaigns remain bitwise identical to their golden runs.
-    if config.topology == "mesh":
-        traffic_token = f"fault/campaign/traffic/{config.k}"
+    # mesh campaigns remain bitwise identical to their golden runs; the
+    # synthetic tokens likewise predate the workload axis.
+    if config.workload == "synthetic":
+        if config.topology == "mesh":
+            traffic_token = f"fault/campaign/traffic/{config.k}"
+        else:
+            traffic_token = (
+                f"fault/campaign/traffic/{config.topology}/{config.k}"
+            )
     else:
         traffic_token = (
-            f"fault/campaign/traffic/{config.topology}/{config.k}"
+            f"fault/campaign/traffic/{config.workload}/"
+            f"{config.topology}/{config.k}"
         )
     sim_seed = derived_seed(config.seed, traffic_token)
-    traffic = SyntheticTraffic(
+    traffic = build_traffic(
         topology,
-        config.injection_rate,
-        config.pattern,
+        config.workload,
+        injection_rate=config.injection_rate,
+        pattern=config.pattern,
         size_flits=config.size_flits,
         multicast_fraction=config.multicast_fraction,
         multicast_degree=config.multicast_degree,
         seed=sim_seed,
+        burst_on=config.burst_on,
+        burst_off=config.burst_off,
+        collective_fraction=config.collective_fraction,
+        collective=config.collective,
+        trace_path=config.trace_path,
+        payload_mode=config.payload_mode,
+        flit_bits=config.flit_bits,
     )
     # warn=False: the campaign driver already warned once in the parent;
     # worker processes would emit invisible duplicates.
@@ -322,6 +487,7 @@ def _evaluate_point(
         n_cycles=sim.cycle,
         useful_deliveries=useful,
         links=sim.links,
+        coupling=config.coupling,
     )
     counts = fstats.per_link_error_counts()
     tokens = sorted(counts)
@@ -430,7 +596,7 @@ def run_fault_campaign(
     tasks = config.tasks()
     store = open_checkpoint(
         checkpoint,
-        {"kind": "fault-campaign/v2", "config": asdict(config)},
+        {"kind": "fault-campaign/v3", "config": asdict(config)},
         resume,
     )
     done: dict[str, FaultPointResult] = {}

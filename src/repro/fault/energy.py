@@ -28,7 +28,7 @@ from repro.errors import ConfigurationError
 from repro.energy.router import RouterPowerModel
 from repro.fault.injector import FaultStats
 from repro.fault.protection import ProtectionConfig
-from repro.noc.power import NocEnergyReport, price_stats
+from repro.noc.power import NocEnergyReport, payload_pricing_active, price_stats
 from repro.noc.stats import NocStats
 from repro.noc.topology import Topology
 from repro.units import FJ, MM
@@ -118,6 +118,7 @@ def price_fault_run(
     n_cycles: int | None = None,
     useful_deliveries: list[tuple] | None = None,
     links=None,
+    coupling: bool = True,
 ) -> FaultEnergyReport:
     """Price a fault run: base event energy + protection overheads.
 
@@ -130,11 +131,24 @@ def price_fault_run(
     outside the measurement window.  ``links`` (the simulator's link
     list) enables per-link length accounting: traversals of links with
     ``mm_scale != 1`` (chiplet NoI wires) pay a datapath surcharge
-    proportional to the extra length.
+    proportional to the extra length.  When the run counted payload
+    transitions (a payload-carrying workload), link pricing switches to
+    the data-dependent model of :func:`repro.noc.power.price_stats` —
+    which already folds ``mm_scale`` in per link, so the surcharge is
+    skipped rather than double-counted; ``coupling=False`` drops the
+    crosstalk term.
     """
     model = model or RouterPowerModel()
     costs = costs or ProtectionCosts()
-    base = price_stats(stats, model, datapath=datapath, n_cycles=n_cycles)
+    payload_active = payload_pricing_active(links)
+    base = price_stats(
+        stats,
+        model,
+        datapath=datapath,
+        n_cycles=n_cycles,
+        links=links,
+        coupling=coupling,
+    )
     e_dp = model.datapath_energy_per_flit(datapath)
     flit_bits = model.config.flit_bits
 
@@ -148,7 +162,7 @@ def price_fault_run(
         retry_buffer = model.buffer_energy_per_flit() * stats.injected_flits
 
     link_surcharge = 0.0
-    if links is not None:
+    if links is not None and not payload_active:
         # Datapath energy scales with wire length: each traversal of a
         # longer-than-baseline link pays the extra length's share.
         extra = sum(

@@ -148,6 +148,11 @@ class FastNocSimulator(NocSimulator):
                 "engine='fast' supports unicast traffic only; use the "
                 "reference engine for multicast mixes"
             )
+        #: Whether the step loop counts payload transitions (set by the
+        #: base constructor on the shared Link objects).
+        self._payload_on = any(
+            link.payload_mode != "constant" for link in self.links
+        )
         self._build_arrays()
 
     # --- layout -----------------------------------------------------------------------
@@ -406,6 +411,7 @@ class FastNocSimulator(NocSimulator):
         arrivals_cal = self._arrivals
         link_inflight = self._link_inflight
         fault_layer = self.fault_layer
+        payload_on = self._payload_on
         n_writes = 0
         n_bypassed = 0
 
@@ -910,6 +916,12 @@ class FastNocSimulator(NocSimulator):
                 li = link_of_r[out_p]
                 link = links[li]
                 link.traversals += 1
+                if payload_on:
+                    # Data-dependent energy: whole-word XOR + popcount
+                    # transition counting (Link.count_payload), at the
+                    # same pipeline point the reference counts — the
+                    # per-link counters are part of the parity contract.
+                    link.count_payload(front)
                 if fault_layer is None:
                     # Fault channels only exist under an attached
                     # FaultLayer (the engine contract; see module doc) —

@@ -49,6 +49,19 @@ class Link:
     _in_flight: list[tuple[int, Flit, int]] = field(default_factory=list)
     #: Optional fault channel (attached by the fault layer); None = ideal.
     channel: "FaultChannel | None" = field(default=None, repr=False)
+    #: Data-dependent energy accounting.  ``payload_mode`` is set by the
+    #: simulator from the traffic source: ``"constant"`` (default, no
+    #: counting — the legacy constant per-bit price), ``"worst_case"``
+    #: (every traversal toggles all wires: the word synthesized on the
+    #: wire is the complement of the previous one), or any other value
+    #: (``"random"``/``"trace"``: the flit's recorded payload word is
+    #: driven onto the wires and transitions counted against the wire
+    #: state).  Counters are priced by :func:`repro.noc.power.price_stats`.
+    payload_mode: str = field(default="constant", repr=False)
+    payload_bits: int = field(default=64, repr=False)
+    last_word: int = field(default=0, repr=False)
+    payload_transitions: int = field(default=0, repr=False)
+    coupling_events: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.latency < 1:
@@ -70,9 +83,37 @@ class Link:
         side effects.
         """
         self.traversals += 1
+        if self.payload_mode != "constant":
+            self.count_payload(flit)
         if self.channel is None:
             return cycle + self.latency, flit
         return self.channel.transmit(self, flit, cycle)
+
+    def count_payload(self, flit: Flit) -> None:
+        """Count the bit transitions one traversal drives onto the wires.
+
+        ``payload_transitions`` counts wires that toggle (ground-cap
+        switching); ``coupling_events`` counts adjacent wire pairs that
+        toggle in *opposite* directions (the worst-case dynamic-Miller
+        event of :mod:`repro.wire.coupled` — both plates of the sidewall
+        capacitor swing, doubling its effective charge).  Both engines
+        run this exact code at the same pipeline point, so the counters
+        are part of the bitwise parity contract.
+        """
+        bits = self.payload_bits
+        mask = (1 << bits) - 1
+        if self.payload_mode == "worst_case":
+            word = (~self.last_word) & mask
+        else:
+            payload = flit.packet.payload
+            word = (payload[flit.seq] if payload else 0) & mask
+        delta = word ^ self.last_word
+        if delta:
+            self.payload_transitions += delta.bit_count()
+            opposed = delta & (delta >> 1) & (word ^ (word >> 1)) & (mask >> 1)
+            if opposed:
+                self.coupling_events += opposed.bit_count()
+            self.last_word = word
 
     def send(self, flit: Flit, vc: int, cycle: int) -> None:
         """Put a flit on the wire at ``cycle``."""

@@ -44,12 +44,25 @@ class Packet:
     #: disjoint VC classes to stay deadlock-free.  Multicasts are always
     #: "xy" (the tree construction assumes it).
     routing: str = "xy"
+    #: Per-flit payload words (one non-negative int per flit, LSB = wire
+    #: 0).  Empty = no payload recorded; the energy model then falls back
+    #: to the constant per-bit price.  When present, data-dependent link
+    #: energy counts the bit transitions each word causes on each wire.
+    payload: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.routing not in ("xy", "yx"):
             raise ConfigurationError(
                 f"routing must be 'xy' or 'yx', got {self.routing!r}"
             )
+        if self.payload:
+            if len(self.payload) != self.size_flits:
+                raise ConfigurationError(
+                    f"payload carries {len(self.payload)} words for "
+                    f"{self.size_flits} flits"
+                )
+            if any(w < 0 for w in self.payload):
+                raise ConfigurationError("payload words must be non-negative")
         if self.routing == "yx" and len(self.dests) > 1:
             raise ConfigurationError("multicast packets must route 'xy'")
         if not self.dests:
@@ -93,14 +106,19 @@ class Packet:
 
 
 def unicast_packet(
-    src: NodeId, dests: frozenset[NodeId], size_flits: int, inject_cycle: int
+    src: NodeId,
+    dests: frozenset[NodeId],
+    size_flits: int,
+    inject_cycle: int,
+    payload: tuple[int, ...] = (),
 ) -> Packet:
     """Hot-path unicast constructor used by traffic generation.
 
     Bypasses ``__post_init__`` validation for packets whose invariants
     the caller guarantees by construction: exactly one destination,
-    ``dests`` excludes ``src``, ``size_flits >= 1``, routing ``"xy"``.
-    Produces a packet indistinguishable from ``Packet(...)``.
+    ``dests`` excludes ``src``, ``size_flits >= 1``, routing ``"xy"``,
+    and ``payload`` either empty or one word per flit.  Produces a
+    packet indistinguishable from ``Packet(...)``.
     """
     p = Packet.__new__(Packet)
     p.src = src
@@ -109,6 +127,7 @@ def unicast_packet(
     p.inject_cycle = inject_cycle
     p.packet_id = next(_packet_ids)
     p.routing = "xy"
+    p.payload = payload
     return p
 
 

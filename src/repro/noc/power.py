@@ -50,16 +50,34 @@ class NocEnergyReport:
 TAP_ENERGY_FRACTION = 0.04
 
 
+def payload_pricing_active(links) -> bool:
+    """True when ``links`` carry data-dependent transition counters."""
+    return links is not None and any(
+        link.payload_mode != "constant" for link in links
+    )
+
+
 def price_stats(
     stats: NocStats,
     model: RouterPowerModel | None = None,
     datapath: str = "srlr",
     n_cycles: int | None = None,
+    links=None,
+    coupling: bool = True,
 ) -> NocEnergyReport:
     """Convert event counters into an energy report.
 
     ``datapath`` selects how crossbar+link traversals are priced: the
     SRLR circuit energy or the conventional repeated full-swing wire.
+
+    ``links`` (the simulator's link list) switches link-traversal
+    pricing from the constant per-bit worst case to the
+    **data-dependent** model when the run counted payload transitions
+    (:meth:`repro.noc.link.Link.count_payload`): toggled wires pay
+    ``e_dp / flit_bits`` each, opposing adjacent pairs additionally pay
+    the coupled-line Miller fraction (disabled with ``coupling=False``),
+    and per-link ``mm_scale`` is folded in.  Payload-free runs price
+    exactly as before whether or not ``links`` is passed.
     """
     model = model or RouterPowerModel()
     if n_cycles is None:
@@ -71,7 +89,16 @@ def price_stats(
     buffers = 0.5 * e_buffer * max(accesses, 0)
     control = model.control_energy_per_flit() * stats.buffer_reads
     e_dp = model.datapath_energy_per_flit(datapath)
-    datapath_energy = e_dp * stats.link_traversals
+    if payload_pricing_active(links):
+        # Lazy import: repro.workload imports the traffic/trace layer,
+        # which imports this module back through repro.noc.__init__.
+        from repro.workload.energy import payload_datapath_energy
+
+        datapath_energy = payload_datapath_energy(
+            links, e_dp, model.config.flit_bits, coupling
+        )
+    else:
+        datapath_energy = e_dp * stats.link_traversals
     # Ejections traverse the crossbar but not the 1 mm link.
     datapath_energy += 0.4 * e_dp * stats.ejections
     taps = TAP_ENERGY_FRACTION * e_dp * stats.tap_deliveries
@@ -85,4 +112,9 @@ def price_stats(
     )
 
 
-__all__ = ["NocEnergyReport", "TAP_ENERGY_FRACTION", "price_stats"]
+__all__ = [
+    "NocEnergyReport",
+    "TAP_ENERGY_FRACTION",
+    "payload_pricing_active",
+    "price_stats",
+]

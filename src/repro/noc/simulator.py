@@ -189,6 +189,16 @@ class NocSimulator:
                 port, link, self.config.n_vcs, self.config.vc_capacity
             )
             self.routers[dst].upstream[in_port] = self.routers[src].outputs[port]
+        # Data-dependent link energy: when the traffic source carries (or
+        # synthesizes) payload bits, every link counts the transitions
+        # each traversal drives onto its wires.  "constant" leaves the
+        # links on the legacy zero-overhead path.
+        payload_mode = getattr(self.traffic, "payload_mode", "constant")
+        if payload_mode != "constant":
+            payload_bits = int(getattr(self.traffic, "payload_bits", 64))
+            for link in self.links:
+                link.payload_mode = payload_mode
+                link.payload_bits = payload_bits
         self.nics: dict[NodeId, Nic] = {
             node: Nic(node, self.routers[node], self.config, self.stats, seed=seed)
             for node in self.topology.nodes()
@@ -271,8 +281,19 @@ class NocSimulator:
         for _ in range(warmup + measure):
             self.step()
 
-        # Stop generating, drain what's in flight.
-        rate, self.traffic.injection_rate = self.traffic.injection_rate, 0.0
+        # Stop generating, drain what's in flight — through the explicit
+        # drain protocol (DrainableTraffic) every traffic source shares.
+        # Ad-hoc generators without the protocol fall back to the legacy
+        # rate-parking behavior.
+        if hasattr(self.traffic, "begin_drain"):
+            self.traffic.begin_drain()
+            end_drain = self.traffic.end_drain
+        else:
+            rate, self.traffic.injection_rate = self.traffic.injection_rate, 0.0
+
+            def end_drain() -> None:
+                self.traffic.injection_rate = rate
+
         try:
             last_signature = None
             stalled_for = 0
@@ -301,7 +322,7 @@ class NocSimulator:
                     f"far); {self._drain_diagnostic()}"
                 )
         finally:
-            self.traffic.injection_rate = rate
+            end_drain()
         return self.stats
 
     # --- drain bookkeeping ------------------------------------------------------------

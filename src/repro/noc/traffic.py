@@ -91,8 +91,39 @@ def endpoint_destination(
     return dest
 
 
+class DrainableTraffic:
+    """The explicit drain protocol every traffic source implements.
+
+    ``NocSimulator.run`` calls :meth:`begin_drain` when the measurement
+    window closes and :meth:`end_drain` (in a ``finally``) once the
+    network has emptied, instead of reaching into the generator to zero
+    ``injection_rate``.  The default implementation reproduces the
+    legacy behavior exactly — the rate is parked at 0.0 but
+    ``packets_for_cycle`` keeps running (and keeps consuming its RNG
+    stream), so drained runs stay bit-identical to the pre-protocol
+    golden results.  Sources without a meaningful rate (trace replay)
+    override with a flag instead.
+    """
+
+    @property
+    def draining(self) -> bool:
+        return getattr(self, "_drain_saved_rate", None) is not None
+
+    def begin_drain(self) -> None:
+        if self.draining:
+            raise ConfigurationError("begin_drain() while already draining")
+        self._drain_saved_rate = self.injection_rate
+        self.injection_rate = 0.0
+
+    def end_drain(self) -> None:
+        if not self.draining:
+            raise ConfigurationError("end_drain() without begin_drain()")
+        self.injection_rate = self._drain_saved_rate
+        self._drain_saved_rate = None
+
+
 @dataclass
-class SyntheticTraffic:
+class SyntheticTraffic(DrainableTraffic):
     """Bernoulli packet injection with a destination pattern.
 
     Attributes
@@ -288,6 +319,7 @@ class SyntheticTraffic:
 
 __all__ = [
     "PATTERNS",
+    "DrainableTraffic",
     "SyntheticTraffic",
     "endpoint_destination",
     "pattern_destination",

@@ -51,6 +51,7 @@ from repro.fault.campaign import (
     point_key,
     point_payload,
 )
+from repro.noc.trace import trace_file_hash
 from repro.mc.engine import (
     McResult,
     default_stress_pattern,
@@ -310,11 +311,19 @@ class FaultCampaignAdapter(CampaignAdapter):
     kind = "fault"
 
     def canonical_config(self, config: dict) -> dict:
-        return asdict(self._config(config))
+        cfg = self._config(config)
+        canonical = asdict(cfg)
+        if cfg.workload == "trace":
+            # Campaign identity follows the trace's *content*: an edited
+            # trace file under the same path is a different campaign and
+            # refuses to attach, exactly like any other config change.
+            canonical["trace_hash"] = trace_file_hash(cfg.trace_path)
+        return canonical
 
     @staticmethod
     def _config(config: dict) -> FaultCampaignConfig:
         fields = dict(config)
+        fields.pop("trace_hash", None)
         for name in ("bers", "protocols"):
             if name in fields:
                 fields[name] = tuple(fields[name])

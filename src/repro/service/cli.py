@@ -28,6 +28,7 @@ from repro.noc.topology import TOPOLOGY_KINDS
 from repro.runtime import ResultCache
 from repro.service.adapters import ADAPTERS, get_adapter
 from repro.service.db import CampaignDB
+from repro.workload import COLLECTIVES, PAYLOAD_MODES, WORKLOADS
 
 
 def _load_config(arg: str) -> dict:
@@ -49,29 +50,47 @@ _TOPOLOGY_FLAGS = {
     "noi_scale": "noi_scale",
 }
 
+#: submit-time workload overlay flags -> FaultCampaignConfig field names.
+_WORKLOAD_FLAGS = {
+    "workload": "workload",
+    "trace_path": "trace_path",
+    "burst_on": "burst_on",
+    "burst_off": "burst_off",
+    "collective_fraction": "collective_fraction",
+    "collective": "collective",
+    "payload_mode": "payload_mode",
+}
 
-def _overlay_topology(args: argparse.Namespace, config: dict) -> dict:
-    """Fold ``--topology``-family flags into a fault campaign config.
+
+def _overlay_fault_flags(args: argparse.Namespace, config: dict) -> dict:
+    """Fold topology/workload overlay flags into a fault campaign config.
 
     The flags are sugar over editing the JSON; they only make sense for
     campaign kinds whose config is a ``FaultCampaignConfig``, so any
     other kind rejects them loudly rather than silently dropping them.
     """
+    flags = {**_TOPOLOGY_FLAGS, **_WORKLOAD_FLAGS}
     overlay = {
         field: getattr(args, flag)
-        for flag, field in _TOPOLOGY_FLAGS.items()
+        for flag, field in flags.items()
         if getattr(args, flag, None) is not None
     }
+    if getattr(args, "no_coupling", False):
+        overlay["coupling"] = False
     if not overlay:
         return config
     if args.kind != "fault":
         names = ", ".join(
             "--" + flag.replace("_", "-")
-            for flag in _TOPOLOGY_FLAGS
-            if getattr(args, flag, None) is not None
+            for flag in (*flags, "no_coupling")
+            if (
+                getattr(args, flag, False)
+                if flag == "no_coupling"
+                else getattr(args, flag, None) is not None
+            )
         )
         raise ReproError(
-            f"{names}: topology flags apply only to --kind fault "
+            f"{names}: topology/workload flags apply only to --kind fault "
             f"campaigns, not {args.kind!r}"
         )
     return {**config, **overlay}
@@ -80,7 +99,7 @@ def _overlay_topology(args: argparse.Namespace, config: dict) -> dict:
 def cmd_submit(args: argparse.Namespace) -> int:
     adapter = get_adapter(args.kind)
     config = adapter.canonical_config(
-        _overlay_topology(args, _load_config(args.config))
+        _overlay_fault_flags(args, _load_config(args.config))
     )
     tasks = [(t.key, t.index, t.spec) for t in adapter.expand(config)]
     with CampaignDB(args.db) as db:
@@ -196,6 +215,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="chiplet grid height (chiplet)")
     topo.add_argument("--noi-scale", type=float, default=None, metavar="X",
                       help="NoI link length multiplier (chiplet)")
+    work = p.add_argument_group(
+        "workload overlays (fault campaigns only)",
+        "override the config's workload fields without editing the JSON",
+    )
+    work.add_argument("--workload", default=None,
+                      choices=sorted(WORKLOADS),
+                      help="workload family for the fault campaign")
+    work.add_argument("--trace-path", default=None, metavar="FILE",
+                      help="trace file to replay (workload=trace)")
+    work.add_argument("--burst-on", type=float, default=None, metavar="P",
+                      help="Markov P(off->on) per cycle (bursty)")
+    work.add_argument("--burst-off", type=float, default=None, metavar="P",
+                      help="Markov P(on->off) per cycle (bursty)")
+    work.add_argument("--collective-fraction", type=float, default=None,
+                      metavar="F", help="multicast share (collective)")
+    work.add_argument("--collective", default=None,
+                      choices=sorted(COLLECTIVES),
+                      help="collective destination set (collective)")
+    work.add_argument("--payload-mode", default=None,
+                      choices=sorted(PAYLOAD_MODES),
+                      help="what bits flits carry (data-dependent energy)")
+    work.add_argument("--no-coupling", action="store_true",
+                      help="drop the crosstalk coupling term from "
+                      "data-dependent link pricing")
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("status", help="row counts and worker heartbeats")

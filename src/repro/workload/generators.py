@@ -1,0 +1,270 @@
+"""Workload generators beyond the synthetic Bernoulli patterns.
+
+Two traffic classes the uniform/transpose synthetics cannot express,
+both first-class citizens of the experiment axis (content-addressed
+seeds, drain protocol, engine parity):
+
+* :class:`BurstyTraffic` — Markov-modulated on/off injection.  Each
+  source carries a two-state (on/off) Markov chain; in the *on* state it
+  injects at the elevated peak rate that makes the long-run mean equal
+  ``injection_rate``.  The result is the bursty arrival statistics real
+  cores produce (cache-miss trains, DMA bursts) at the same offered
+  load as the matching uniform run — so latency/energy deltas are the
+  burstiness, not the load.
+* :class:`CollectiveTraffic` — multicast-heavy collective patterns
+  (row/column broadcasts or random destination sets) mixed over a
+  unicast background, modeling the coherence/collective traffic that
+  motivates the SRLR's free multicast claim.
+
+Both draw from a single seeded ``numpy`` Generator exactly once per
+simulated cycle, so the packet stream for a given seed is identical on
+the reference and fast engines (the engines call
+``packets_for_cycle`` at the same pipeline point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet, unicast_packet
+from repro.noc.topology import NodeId, Topology
+from repro.noc.traffic import (
+    PATTERNS,
+    DrainableTraffic,
+    endpoint_destination,
+    pattern_destination,
+)
+
+#: Destination-set constructions for CollectiveTraffic.
+COLLECTIVES = ("row", "col", "random")
+
+
+@dataclass
+class BurstyTraffic(DrainableTraffic):
+    """Markov on/off (Interrupted Bernoulli) injection.
+
+    ``burst_on`` is the per-cycle P(off -> on), ``burst_off`` the
+    per-cycle P(on -> off); the stationary duty cycle is
+    ``burst_on / (burst_on + burst_off)`` and sources inject at
+    ``injection_rate / duty`` while on, so the *mean* offered load
+    matches a uniform run at the same ``injection_rate``.  Mean burst
+    length is ``1 / burst_off`` cycles.
+    """
+
+    topology: Topology
+    injection_rate: float
+    pattern: str = "uniform"
+    size_flits: int = 1
+    burst_on: float = 0.05
+    burst_off: float = 0.15
+    seed: int = 7
+
+    #: Generators never emit multicasts; the fast-engine guard reads this.
+    multicast_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.injection_rate <= 1.0:
+            raise ConfigurationError(
+                f"injection_rate must lie in [0, 1], got {self.injection_rate}"
+            )
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(
+                f"unknown pattern {self.pattern!r}; choose from {PATTERNS}"
+            )
+        if self.size_flits < 1:
+            raise ConfigurationError(
+                f"size_flits must be >= 1, got {self.size_flits}"
+            )
+        for name, p in (("burst_on", self.burst_on), ("burst_off", self.burst_off)):
+            if not 0.0 < p <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must lie in (0, 1], got {p}"
+                )
+        self._duty = self.burst_on / (self.burst_on + self.burst_off)
+        if self.injection_rate / self._duty > 1.0:
+            raise ConfigurationError(
+                f"injection_rate={self.injection_rate} at duty cycle "
+                f"{self._duty:.3f} needs an on-state rate above 1 "
+                f"packet/cycle; lower the rate or raise burst_on"
+            )
+        if not self.topology.grid_endpoints:
+            w, h = self.topology.endpoint_grid()
+            if self.pattern == "transpose" and w != h:
+                raise ConfigurationError(
+                    f"pattern='transpose' needs a square endpoint grid; "
+                    f"the {self.topology.kind} topology's is {w}x{h}"
+                )
+        self._rng = np.random.default_rng(self.seed)
+        if self.topology.grid_endpoints:
+            self._sources = list(self.topology.nodes())
+        else:
+            self._sources = list(self.topology.endpoints())
+        # Start each source's chain in the stationary distribution, from
+        # the same seeded stream as everything else.
+        self._on = (
+            self._rng.random(len(self._sources)) < self._duty
+        ).tolist()
+
+    def packets_for_cycle(self, cycle: int) -> list[Packet]:
+        rate = self.injection_rate
+        if rate == 0.0:
+            # Drained (or zero-rate): no packets, no RNG consumption —
+            # the chain freezes so a drain never perturbs determinism.
+            return []
+        rng = self._rng
+        sources = self._sources
+        n = len(sources)
+        on = self._on
+        p_on, p_off = self.burst_on, self.burst_off
+        # One batched draw per phase: state-update coins, then injection
+        # coins.  All n values of each batch are consumed, so no rewind
+        # arithmetic is needed and both engines see one identical stream.
+        state_coins = rng.random(n).tolist()
+        for i in range(n):
+            if on[i]:
+                on[i] = state_coins[i] >= p_off
+            else:
+                on[i] = state_coins[i] < p_on
+        peak = min(1.0, rate / self._duty)
+        inject_coins = rng.random(n).tolist()
+        out: list[Packet] = []
+        sf = self.size_flits
+        pattern = self.pattern
+        if self.topology.grid_endpoints:
+            k = self.topology.k
+            for i in range(n):
+                if not on[i] or inject_coins[i] >= peak:
+                    continue
+                src = sources[i]
+                dest = pattern_destination(pattern, src, k, rng)
+                out.append(unicast_packet(src, frozenset((dest,)), sf, cycle))
+            return out
+        w, h = self.topology.endpoint_grid()
+        endpoint_router = self.topology.endpoint_router
+        for i in range(n):
+            if not on[i] or inject_coins[i] >= peak:
+                continue
+            src = sources[i]
+            dest = endpoint_destination(pattern, src, w, h, rng)
+            src_r = endpoint_router(src)
+            dest_r = endpoint_router(dest)
+            if src_r == dest_r:
+                continue
+            out.append(unicast_packet(src_r, frozenset((dest_r,)), sf, cycle))
+        return out
+
+
+@dataclass
+class CollectiveTraffic(DrainableTraffic):
+    """Multicast-heavy collective patterns over a unicast background.
+
+    With probability ``collective_fraction`` a firing source emits a
+    single-flit multicast whose destination set is a *structured
+    collective*: its full mesh row (``"row"``), its column (``"col"``),
+    or a random set of ``multicast_degree`` nodes (``"random"``).  The
+    rest is uniform-random unicast background at ``size_flits``.
+    Multicast forces the reference engine, exactly as
+    ``SyntheticTraffic`` multicast mixes do.
+    """
+
+    topology: Topology
+    injection_rate: float
+    collective_fraction: float = 0.25
+    collective: str = "row"
+    size_flits: int = 1
+    multicast_degree: int = 4
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.injection_rate <= 1.0:
+            raise ConfigurationError(
+                f"injection_rate must lie in [0, 1], got {self.injection_rate}"
+            )
+        if not 0.0 <= self.collective_fraction <= 1.0:
+            raise ConfigurationError(
+                f"collective_fraction must lie in [0, 1], "
+                f"got {self.collective_fraction}"
+            )
+        if self.collective not in COLLECTIVES:
+            raise ConfigurationError(
+                f"collective must be one of {COLLECTIVES}, "
+                f"got {self.collective!r}"
+            )
+        if self.size_flits < 1:
+            raise ConfigurationError(
+                f"size_flits must be >= 1, got {self.size_flits}"
+            )
+        if not self.topology.grid_endpoints:
+            raise ConfigurationError(
+                "collective (multicast) traffic is only defined over "
+                f"grid-endpoint topologies (mesh, torus); got "
+                f"{self.topology.kind}"
+            )
+        if self.topology.k < 2:
+            raise ConfigurationError("collective traffic needs k >= 2")
+        if self.collective == "random":
+            if self.multicast_degree < 2:
+                raise ConfigurationError(
+                    f"multicast_degree must be >= 2, got {self.multicast_degree}"
+                )
+            if self.multicast_degree > self.topology.n_nodes - 1:
+                raise ConfigurationError(
+                    "multicast_degree exceeds the node count"
+                )
+        self._rng = np.random.default_rng(self.seed)
+        self._nodes = list(self.topology.nodes())
+
+    @property
+    def multicast_fraction(self) -> float:
+        """Alias for the engine guards: nonzero -> reference engine."""
+        return self.collective_fraction
+
+    def _collective_dests(self, src: NodeId) -> frozenset[NodeId]:
+        x, y = src
+        k = self.topology.k
+        if self.collective == "row":
+            return frozenset((cx, y) for cx in range(k) if (cx, y) != src)
+        if self.collective == "col":
+            return frozenset((x, cy) for cy in range(k) if (x, cy) != src)
+        candidates = [n for n in self._nodes if n != src]
+        idx = self._rng.choice(
+            len(candidates), self.multicast_degree, replace=False
+        )
+        return frozenset(candidates[i] for i in idx)
+
+    def packets_for_cycle(self, cycle: int) -> list[Packet]:
+        rate = self.injection_rate
+        if rate == 0.0:
+            return []
+        rng = self._rng
+        out: list[Packet] = []
+        k = self.topology.k
+        for src in self._nodes:
+            if rng.random() >= rate:
+                continue
+            if (
+                self.collective_fraction > 0.0
+                and rng.random() < self.collective_fraction
+            ):
+                out.append(
+                    Packet(
+                        src=src,
+                        dests=self._collective_dests(src),
+                        size_flits=1,
+                        inject_cycle=cycle,
+                    )
+                )
+            else:
+                dest = pattern_destination("uniform", src, k, rng)
+                out.append(
+                    unicast_packet(
+                        src, frozenset((dest,)), self.size_flits, cycle
+                    )
+                )
+        return out
+
+
+__all__ = ["COLLECTIVES", "BurstyTraffic", "CollectiveTraffic"]

@@ -33,7 +33,9 @@ from repro.noc import (
     NocSimulator,
     SyntheticTraffic,
     build_topology,
+    record_trace,
 )
+from repro.workload import build_traffic
 
 SEED = 7
 
@@ -70,6 +72,10 @@ def _fingerprint(sim):
             for d in s.deliveries
         ),
         "per_link_traversals": [link.traversals for link in sim.links],
+        "per_link_payload": [
+            (link.payload_transitions, link.coupling_events, link.last_word)
+            for link in sim.links
+        ],
     }
 
 
@@ -282,6 +288,79 @@ def test_fault_parity(model, protocol, size_flits):
     reference, fast = results
     assert fast[0] == reference[0]
     assert fast[1] == reference[1]
+
+
+# --- workload matrix -------------------------------------------------------------------
+#
+# The repro.workload generators (bursty Markov on/off, payload-carrying
+# wrappers) and trace replay run the same differential check.  Payload
+# cases compare the per-link transition/coupling counters too (they are
+# part of _fingerprint), so the data-dependent energy inputs — not just
+# the delivery statistics — are proven bitwise identical.
+
+WORKLOAD_CASES = [
+    ("bursty-k4-low", "bursty", 4, 0.05, {}),
+    ("bursty-k4-mid", "bursty", 4, 0.15, {}),
+    ("bursty-k4-transpose", "bursty", 4, 0.10, {"pattern": "transpose"}),
+    ("bursty-k4-long-bursts", "bursty", 4, 0.08,
+     {"burst_on": 0.02, "burst_off": 0.05}),
+    ("bursty-k4-worm2", "bursty", 4, 0.08, {"size_flits": 2}),
+    ("bursty-k4-random-payload", "bursty", 4, 0.10,
+     {"payload_mode": "random"}),
+    ("uniform-k4-random-payload", "synthetic", 4, 0.15,
+     {"payload_mode": "random"}),
+    ("uniform-k4-worstcase-payload", "synthetic", 4, 0.15,
+     {"payload_mode": "worst_case"}),
+    ("transpose-k4-random-payload", "synthetic", 4, 0.10,
+     {"pattern": "transpose", "payload_mode": "random", "size_flits": 2}),
+]
+
+
+@pytest.mark.parametrize(
+    "workload,k,rate,kwargs",
+    [case[1:] for case in WORKLOAD_CASES],
+    ids=[case[0] for case in WORKLOAD_CASES],
+)
+def test_workload_parity(workload, k, rate, kwargs):
+    results = []
+    for engine in ENGINES:
+        topology = MeshTopology(k)
+        traffic = build_traffic(
+            topology, workload, injection_rate=rate, seed=SEED, **kwargs
+        )
+        sim = NocSimulator(
+            topology, traffic=traffic, seed=SEED, engine=engine
+        )
+        sim.run(warmup=40, measure=200, drain_limit=20_000)
+        results.append(_fingerprint(sim))
+    reference, fast = results
+    assert fast == reference
+
+
+def test_trace_replay_parity(tmp_path):
+    # Record a payload-carrying bursty run into a trace file, then
+    # replay the file on both engines: identical streams, identical
+    # counters, identical payload transition counts.
+    topology = MeshTopology(4)
+    source = build_traffic(
+        topology, "bursty", injection_rate=0.12, seed=SEED,
+        payload_mode="random",
+    )
+    trace = record_trace(source, 150)
+    path = tmp_path / "bursty.trace.json"
+    trace.save(path)
+    results = []
+    for engine in ENGINES:
+        traffic = build_traffic(MeshTopology(4), "trace", trace_path=path)
+        sim = NocSimulator(
+            MeshTopology(4), traffic=traffic, seed=SEED, engine=engine
+        )
+        sim.run(warmup=40, measure=100, drain_limit=20_000)
+        results.append(_fingerprint(sim))
+    reference, fast = results
+    assert fast == reference
+    assert reference["injected_packets"] > 0
+    assert any(t for t, _e, _w in reference["per_link_payload"])
 
 
 # --- livelock detection parity ---------------------------------------------------------

@@ -555,3 +555,89 @@ def test_fast_engine_matches_reference_for_random_configs(params):
             )
         )
     assert fingerprints[0] == fingerprints[1]
+
+
+# --- trace replay under fault injection --------------------------------------------------
+
+
+trace_replay_configs = st.fixed_dictionaries(
+    {
+        "k": st.integers(2, 4),
+        "rate": st.floats(0.02, 0.12),
+        "trace_cycles": st.integers(40, 120),
+        "size_flits": st.integers(1, 3),
+        "ber": st.floats(1e-4, 5e-3),
+        "payload": st.booleans(),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=trace_replay_configs)
+def test_trace_replay_conservation_under_faults(params):
+    # Record a random synthetic run into a trace, replay it with a
+    # corrupting (never dropping) fault layer, and hold the conservation
+    # invariants at every cycle.  Corruption may flip payload bits but
+    # must neither create nor destroy flits, and every recorded packet
+    # must still be delivered exactly once — possibly marked corrupted.
+    from repro.fault import FaultLayer, ProtectionConfig, UniformBer
+    from repro.noc import TraceTraffic, record_trace
+    from repro.workload import build_traffic
+
+    topo = MeshTopology(params["k"])
+    source = build_traffic(
+        topo,
+        "synthetic",
+        injection_rate=params["rate"],
+        size_flits=params["size_flits"],
+        seed=params["seed"],
+        payload_mode="random" if params["payload"] else "constant",
+    )
+    trace = record_trace(source, params["trace_cycles"])
+
+    traffic = TraceTraffic(
+        topology=topo, entries=trace.entries, flit_bits=trace.flit_bits
+    )
+    sim = NocSimulator(topo, traffic=traffic, engine="reference")
+    FaultLayer(
+        UniformBer(ber=params["ber"]),
+        ProtectionConfig(protocol="none"),
+        seed=params["seed"] + 1,
+    ).attach(sim)
+
+    owed: list[tuple[int, tuple[int, int]]] = []
+    for nic in sim.nics.values():
+        original = nic.offer
+
+        def offer(packet, _original=original):
+            owed.extend((packet.packet_id, d) for d in packet.dests)
+            _original(packet)
+
+        nic.offer = offer
+
+    horizon = params["trace_cycles"] + 10
+    sim.stats.measure_start, sim.stats.measure_end = 0, horizon
+    for _ in range(horizon):
+        sim.step()
+        _check_credit_conservation(sim)
+        _check_flit_conservation(sim)
+
+    traffic.begin_drain()
+    for _ in range(20_000):
+        if not sim._network_busy():
+            break
+        sim.step()
+        _check_credit_conservation(sim)
+        _check_flit_conservation(sim)
+    assert not sim._network_busy(), "network failed to drain"
+    traffic.end_drain()
+
+    assert len(owed) == sum(1 for _e in trace.entries), "replay lost packets"
+    delivered = [(d.packet_id, d.dest) for d in sim.stats.deliveries]
+    assert len(delivered) == len(set(delivered)), "duplicate delivery"
+    assert sorted(delivered) == sorted(owed), "delivery ledger mismatch"
